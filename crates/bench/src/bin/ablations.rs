@@ -1,0 +1,71 @@
+//! Ablation studies for the design choices DESIGN.md calls out: each row
+//! quantifies one architectural decision of the paper by evaluating the
+//! road-not-taken on the same substrate.
+//!
+//! 1. Magic states: cultivation + 8T-to-CCZ versus a 15-to-1 pipeline;
+//! 2. CNOT fan-out: measurement-based GHZ versus the log-depth tree;
+//! 3. Carry runways: Table II's r_sep = 96 versus a runway-free adder;
+//! 4. Windowed arithmetic: 3/4 windows versus naive w = 1 schoolbook;
+//! 5. Transversal O(1) SE rounds versus lattice-surgery-style d rounds.
+
+use raa::core::{logical, ArchContext};
+use raa::factory::{CczFactory, Distill15Factory};
+use raa::gadgets::adder::CuccaroAdder;
+use raa::gadgets::fanout::{ghz_fanout, tree_fanout};
+use raa::shor::TransversalArchitecture;
+use raa_bench::{fmt, header, row};
+
+fn main() {
+    let ctx = ArchContext::paper();
+
+    header("Ablation 1: magic-state strategy (per-CCZ volume, equal output error)");
+    row(&["strategy".into(), "qubits".into(), "interval (ms)".into(), "qubit*s per CCZ".into()]);
+    let cult = CczFactory::for_target(&ctx, 1.6e-11).expect("reachable");
+    row(&[
+        "cultivation + 8T-to-CCZ (paper)".into(),
+        fmt(cult.qubits(&ctx)),
+        fmt(cult.production_interval(&ctx) * 1e3),
+        fmt(cult.qubits(&ctx) * cult.production_interval(&ctx)),
+    ]);
+    if let Some(dist) = Distill15Factory::for_target(1e-3, cult.t_input_error()) {
+        row(&[
+            format!("15-to-1 x{} + 8T-to-CCZ", dist.levels),
+            fmt(dist.qubits(&ctx)),
+            fmt(dist.ccz_interval(&ctx) * 1e3),
+            fmt(dist.qubits(&ctx) * dist.ccz_interval(&ctx)),
+        ]);
+    }
+
+    header("Ablation 2: CNOT fan-out into a 2994-bit register");
+    row(&["method".into(), "seconds".into(), "extra patches".into(), "logical error".into()]);
+    let g = ghz_fanout(&ctx, 2994, 2.0);
+    let t = tree_fanout(&ctx, 2994);
+    row(&["GHZ measurement-based (paper)".into(), fmt(g.seconds), fmt(g.extra_patches), fmt(g.logical_error)]);
+    row(&["log-depth CNOT tree".into(), fmt(t.seconds), fmt(t.extra_patches), fmt(t.logical_error)]);
+
+    header("Ablation 3: oblivious carry runways (2048-bit addition)");
+    row(&["adder".into(), "duration (s)".into(), "CCZ".into()]);
+    let with = CuccaroAdder::new(2048, 96, 43);
+    let without = CuccaroAdder::without_runways(2048);
+    row(&["r_sep = 96, r_pad = 43 (paper)".into(), fmt(with.duration(&ctx)), fmt(with.toffoli_count() as f64)]);
+    row(&["no runways".into(), fmt(without.duration(&ctx)), fmt(without.toffoli_count() as f64)]);
+
+    header("Ablation 4: windowed arithmetic (whole RSA-2048 run)");
+    row(&["windows".into(), "days".into(), "CCZ total".into()]);
+    let paper = TransversalArchitecture::paper().estimate();
+    row(&["w_exp = 3, w_mul = 4 (paper)".into(), fmt(paper.expected_days()), fmt(paper.ccz_total)]);
+    let mut naive = TransversalArchitecture::paper();
+    naive.params.w_exp = 1;
+    naive.params.w_mul = 1;
+    let naive_est = naive.estimate();
+    row(&["w_exp = w_mul = 1 (schoolbook)".into(), fmt(naive_est.expected_days()), fmt(naive_est.ccz_total)]);
+
+    header("Ablation 5: SE rounds per transversal CNOT (per-CNOT volume, Eq. 6)");
+    row(&["schedule".into(), "relative volume".into()]);
+    let p = ctx.error;
+    let v1 = logical::volume_per_cnot(&p, 1.0, 1e-12).expect("below threshold");
+    let vd = logical::volume_per_cnot(&p, 1.0 / 27.0, 1e-12).expect("below threshold");
+    row(&["O(1): 1 round per CNOT (paper)".into(), fmt(v1)]);
+    row(&["O(d): 27 rounds per CNOT (surgery-style)".into(), fmt(vd)]);
+    header(&format!("surgery-style volume overhead: {:.1}x", vd / v1));
+}

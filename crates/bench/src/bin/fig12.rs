@@ -1,0 +1,45 @@
+//! Regenerates Fig. 12: space usage and logical-error contributions of the
+//! two main factoring subroutines (lookup and addition) at the Table II
+//! parameters. During lookup, the GHZ CNOT fan-out dominates both budgets;
+//! during addition, the magic-state factories dominate the *active* space.
+
+use raa::core::ArchContext;
+use raa::gadgets::LookupAddition;
+use raa::shor::TransversalArchitecture;
+use raa_bench::{fmt, header, row};
+
+fn main() {
+    let arch = TransversalArchitecture::paper();
+    let est = arch.estimate();
+    let s = est.space;
+
+    header("Fig. 12(a): physical-qubit usage by component (Table II parameters)");
+    row(&["component".into(), "qubits".into(), "phase".into()]);
+    row(&["accumulator register".into(), fmt(s.accumulator), "both".into()]);
+    row(&["multiplier register (dense idle)".into(), fmt(s.multiplier), "both".into()]);
+    row(&["lookup output register".into(), fmt(s.lookup_output), "both".into()]);
+    row(&["GHZ CNOT fan-out".into(), fmt(s.ghz_fanout), "lookup".into()]);
+    row(&["adder MAJ/UMA pipeline".into(), fmt(s.adder_pipeline), "addition".into()]);
+    row(&["magic-state factories".into(), fmt(s.factories), "both".into()]);
+    header(&format!(
+        "peak footprint: {:.2}M qubits ({} factories, d = {})",
+        est.qubits / 1e6,
+        est.factories,
+        est.distance
+    ));
+
+    header("Fig. 12(b): logical-error contributions per run");
+    row(&["source".into(), "probability".into()]);
+    row(&["CCZ magic states".into(), fmt(est.errors.ccz)]);
+    row(&["transversal gates (fan-out dominated)".into(), fmt(est.errors.gates)]);
+    row(&["runway approximation".into(), fmt(est.errors.runways)]);
+    row(&["dense-storage idling".into(), fmt(est.errors.storage)]);
+    row(&["total".into(), fmt(est.errors.total())]);
+
+    let ctx = ArchContext::paper();
+    let gadget = LookupAddition::new(3, 4, 2048, 96, 43);
+    header(&format!(
+        "fan-out share of the lookup error: {:.0}% (paper: dominant)",
+        gadget.lookup().fanout_error_share(&ctx) * 100.0
+    ));
+}

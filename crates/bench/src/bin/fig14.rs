@@ -1,0 +1,75 @@
+//! Regenerates Fig. 14: timescale and qubit-count sensitivity — (a) volume
+//! and (b) QEC-cycle duration vs atom acceleration, (c) volume vs reaction
+//! time (with the CNOT fan-out floor), (d) the qubit/run-time trade-off,
+//! plus the §IV.3.4 dense-qLDPC storage row.
+
+use raa::shor::sensitivity::{
+    sweep_acceleration, sweep_qldpc_storage, sweep_qubit_cap, sweep_reaction,
+};
+use raa::shor::TransversalArchitecture;
+use raa_bench::{fmt, header, row};
+
+fn main() {
+    let base = TransversalArchitecture::paper();
+
+    header("Fig. 14(a,b): acceleration rescale");
+    row(&[
+        "accel scale".into(),
+        "QEC cycle (us)".into(),
+        "qubits".into(),
+        "days".into(),
+        "Mqubit-days".into(),
+    ]);
+    for (pt, cycle) in sweep_acceleration(&base, &[0.1, 0.3, 1.0, 3.0, 10.0]) {
+        let st = pt.space_time();
+        row(&[
+            fmt(pt.value),
+            fmt(cycle * 1e6),
+            fmt(st.qubits),
+            fmt(st.days()),
+            fmt(st.volume_mqubit_days()),
+        ]);
+    }
+
+    header("Fig. 14(c): reaction-time sweep");
+    row(&[
+        "reaction (ms)".into(),
+        "days".into(),
+        "Mqubit-days".into(),
+    ]);
+    for pt in sweep_reaction(&base, &[10e-3, 3e-3, 1e-3, 0.3e-3, 0.1e-3]) {
+        let st = pt.space_time();
+        row(&[fmt(pt.value * 1e3), fmt(st.days()), fmt(st.volume_mqubit_days())]);
+    }
+    header("paper: gains bottom out at the CNOT fan-out volume");
+
+    header("Fig. 14(d): qubit-number / run-time trade-off");
+    row(&[
+        "qubit cap".into(),
+        "qubits used".into(),
+        "days".into(),
+        "Mqubit-days".into(),
+    ]);
+    for pt in sweep_qubit_cap(&base, &[12e6, 15e6, 19e6, 25e6, 40e6, 80e6]) {
+        let st = pt.space_time();
+        row(&[
+            fmt(pt.value),
+            fmt(st.qubits),
+            fmt(st.days()),
+            fmt(st.volume_mqubit_days()),
+        ]);
+    }
+    header("paper: comparable volume along the curve; knee below ~15M qubits");
+
+    header("Extension (§IV.3.4): dense qLDPC idle storage");
+    row(&["compression".into(), "qubits".into(), "space saving".into()]);
+    let pts = sweep_qldpc_storage(&base, &[1.0, 10.0]);
+    let q0 = pts[0].estimate.qubits;
+    for pt in &pts {
+        row(&[
+            fmt(pt.value),
+            fmt(pt.estimate.qubits),
+            format!("{:.1}%", (1.0 - pt.estimate.qubits / q0) * 100.0),
+        ]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table I: typical parameters for dynamically-reconfigurable
+//! neutral atom arrays, plus the derived timing quantities used in §IV.
+
+use raa::physics::{CycleModel, PhysicalParams};
+use raa_bench::{fmt, header, row};
+
+fn main() {
+    let p = PhysicalParams::default();
+    header("Table I: neutral-atom platform parameters (paper values)");
+    row(&["site spacing (um)".into(), fmt(p.site_spacing * 1e6)]);
+    row(&["acceleration (m/s^2)".into(), fmt(p.acceleration)]);
+    row(&["gate time (us)".into(), fmt(p.gate_time * 1e6)]);
+    row(&["measure time (us)".into(), fmt(p.measure_time * 1e6)]);
+    row(&["decode time (us)".into(), fmt(p.decode_time * 1e6)]);
+
+    header("Derived timing at d = 27 (paper §IV.2)");
+    let cycle = CycleModel::new(&p, 27);
+    row(&[
+        "SE gate segment (us)".into(),
+        fmt(cycle.gate_segment() * 1e6),
+    ]);
+    row(&[
+        "patch move time (us)".into(),
+        fmt(cycle.patch_move_time() * 1e6),
+    ]);
+    row(&["QEC cycle (us)".into(), fmt(cycle.cycle_time() * 1e6)]);
+    row(&["reaction time (us)".into(), fmt(cycle.reaction_time() * 1e6)]);
+}

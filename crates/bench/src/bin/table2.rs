@@ -1,0 +1,37 @@
+//! Regenerates Table II: algorithm parameters chosen for 2048-bit factoring,
+//! by running the parameter optimizer and printing the winner next to the
+//! paper's choice and the Gidney–Ekerå reference parameters.
+
+use raa::shor::{optimize_paper_instance, AlgorithmParams};
+use raa_bench::{header, row};
+
+fn main() {
+    header("Table II: algorithm parameters for 2048-bit factoring");
+    row(&[
+        "parameter".into(),
+        "optimizer".into(),
+        "paper".into(),
+        "Ref. [8]".into(),
+    ]);
+    let opt = optimize_paper_instance();
+    let o = opt.architecture.params;
+    let p = AlgorithmParams::paper_table2();
+    let g = AlgorithmParams::gidney_ekera_table2();
+    let line = |name: &str, f: fn(&AlgorithmParams) -> u32| {
+        row(&[
+            name.into(),
+            f(&o).to_string(),
+            f(&p).to_string(),
+            f(&g).to_string(),
+        ]);
+    };
+    line("exponent window w_exp", |a| a.w_exp);
+    line("multiplication window w_mul", |a| a.w_mul);
+    line("runway separation r_sep", |a| a.r_sep);
+    line("runway padding r_pad", |a| a.r_pad);
+    line("code distance", |a| a.distance);
+    line("max factory number", |a| a.max_factories);
+
+    header("Optimizer's estimate at its chosen parameters");
+    println!("{}", opt.estimate);
+}

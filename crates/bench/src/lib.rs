@@ -1,0 +1,54 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation section (see DESIGN.md for the full index), printing
+//! tab-separated series with `#`-prefixed headers so the output can be piped
+//! into plotting tools or diffed in CI.
+
+/// Reads a shot-count override from `RAA_SHOTS` (used by the Monte-Carlo
+/// figures so CI can run fast and papers-quality runs can go deep).
+pub fn env_shots(default: usize) -> usize {
+    std::env::var("RAA_SHOTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a `#`-prefixed header line.
+pub fn header(title: &str) {
+    println!("# {title}");
+}
+
+/// Prints a tab-separated row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Formats a float compactly for table output.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_shots_default() {
+        std::env::remove_var("RAA_SHOTS");
+        assert_eq!(env_shots(123), 123);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert!(fmt(1e-9).contains('e'));
+        assert!(!fmt(3.25).contains('e'));
+    }
+}

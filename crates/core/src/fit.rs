@@ -1,0 +1,242 @@
+//! Fitting the logical-error model to simulation data (Fig. 6a).
+//!
+//! Given measured per-CNOT logical error rates at several `(x, d)` points,
+//! fit the decoding factor `α` and suppression base `Λ` of Eq. (4) by
+//! minimizing squared log-residuals, with the prefactor `C` fixed (the paper
+//! keeps `C = 0.1` for literature consistency and takes only the relative
+//! coefficients from the fit, finding `α ≈ 1/6` and `Λ` closer to 20 for the
+//! MLE decoder at `p_phys = 0.1%`).
+
+use crate::params::ErrorModelParams;
+
+/// One measured data point for the Eq. (4) fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CnotErrorPoint {
+    /// Transversal CNOTs per SE round.
+    pub x: f64,
+    /// Code distance.
+    pub distance: u32,
+    /// Measured logical error per CNOT (both qubits).
+    pub error_per_cnot: f64,
+}
+
+/// Result of fitting Eq. (4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitResult {
+    /// Fitted decoding factor α.
+    pub alpha: f64,
+    /// Fitted suppression base Λ.
+    pub lambda: f64,
+    /// Prefactor C used (held fixed).
+    pub c: f64,
+    /// Mean squared log-residual at the optimum.
+    pub residual: f64,
+}
+
+impl FitResult {
+    /// Converts the fit into model parameters (at the paper's `p_thres = 1%`,
+    /// so `p_phys = p_thres/Λ`).
+    pub fn to_params(&self) -> ErrorModelParams {
+        let p_thres = 1e-2;
+        ErrorModelParams {
+            c: self.c,
+            p_phys: p_thres / self.lambda,
+            p_thres,
+            alpha: self.alpha,
+        }
+    }
+}
+
+fn model_log(c: f64, alpha: f64, lambda: f64, x: f64, d: u32) -> f64 {
+    let base = (alpha * x + 1.0) / lambda;
+    (2.0 * c / x).ln() + f64::from(d + 1) / 2.0 * base.ln()
+}
+
+fn residual(points: &[CnotErrorPoint], c: f64, alpha: f64, lambda: f64) -> f64 {
+    let mut sum = 0.0;
+    for p in points {
+        let r = model_log(c, alpha, lambda, p.x, p.distance) - p.error_per_cnot.ln();
+        sum += r * r;
+    }
+    sum / points.len() as f64
+}
+
+/// Fits `(α, Λ)` of Eq. (4) to the data with `C` held fixed.
+///
+/// Uses a coarse log-grid search followed by coordinate refinement; robust
+/// for the handful-of-points fits this is used for.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or any error rate is not in (0, 1).
+///
+/// # Example
+///
+/// ```
+/// use raa_core::fit::{fit_cnot_model, CnotErrorPoint};
+/// use raa_core::logical;
+/// use raa_core::ErrorModelParams;
+///
+/// // Synthesize data from the model itself and recover the parameters.
+/// let truth = ErrorModelParams::paper();
+/// let points: Vec<CnotErrorPoint> = [(0.5, 11), (1.0, 11), (2.0, 15), (4.0, 15)]
+///     .iter()
+///     .map(|&(x, d)| CnotErrorPoint {
+///         x,
+///         distance: d,
+///         error_per_cnot: logical::cnot_error(&truth, d, x),
+///     })
+///     .collect();
+/// let fit = fit_cnot_model(&points, 0.1);
+/// assert!((fit.alpha - 1.0 / 6.0).abs() < 0.02);
+/// assert!((fit.lambda - 10.0).abs() < 0.5);
+/// ```
+pub fn fit_cnot_model(points: &[CnotErrorPoint], c: f64) -> FitResult {
+    assert!(!points.is_empty(), "need at least one data point");
+    for p in points {
+        assert!(
+            p.error_per_cnot > 0.0 && p.error_per_cnot < 1.0,
+            "error rates must be in (0, 1), got {}",
+            p.error_per_cnot
+        );
+        assert!(p.x > 0.0, "x must be positive");
+    }
+    // Coarse grid.
+    let mut best = (f64::INFINITY, 0.2, 10.0);
+    let mut alpha = 0.01;
+    while alpha <= 3.0 {
+        let mut lambda = 1.5;
+        while lambda <= 60.0 {
+            let r = residual(points, c, alpha, lambda);
+            if r < best.0 {
+                best = (r, alpha, lambda);
+            }
+            lambda *= 1.1;
+        }
+        alpha *= 1.1;
+    }
+    // Coordinate refinement.
+    let (mut r_best, mut a_best, mut l_best) = best;
+    let mut step = 0.3;
+    for _ in 0..60 {
+        let mut improved = false;
+        for (da, dl) in [
+            (1.0 + step, 1.0),
+            (1.0 / (1.0 + step), 1.0),
+            (1.0, 1.0 + step),
+            (1.0, 1.0 / (1.0 + step)),
+        ] {
+            let (a, l) = (a_best * da, l_best * dl);
+            let r = residual(points, c, a, l);
+            if r < r_best {
+                r_best = r;
+                a_best = a;
+                l_best = l;
+                improved = true;
+            }
+        }
+        if !improved {
+            step *= 0.5;
+            if step < 1e-6 {
+                break;
+            }
+        }
+    }
+    FitResult {
+        alpha: a_best,
+        lambda: l_best,
+        c,
+        residual: r_best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical;
+    use proptest::prelude::*;
+
+    fn synthetic(params: &ErrorModelParams, grid: &[(f64, u32)]) -> Vec<CnotErrorPoint> {
+        grid.iter()
+            .map(|&(x, d)| CnotErrorPoint {
+                x,
+                distance: d,
+                error_per_cnot: logical::cnot_error(params, d, x),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_paper_parameters_from_clean_data() {
+        let truth = ErrorModelParams::paper();
+        let points = synthetic(&truth, &[(0.25, 7), (0.5, 9), (1.0, 11), (2.0, 13), (4.0, 15)]);
+        let fit = fit_cnot_model(&points, truth.c);
+        assert!((fit.alpha - truth.alpha).abs() < 0.01, "alpha {}", fit.alpha);
+        assert!((fit.lambda - truth.lambda()).abs() < 0.3, "lambda {}", fit.lambda);
+        assert!(fit.residual < 1e-6);
+    }
+
+    #[test]
+    fn recovers_larger_alpha() {
+        let truth = ErrorModelParams::paper().with_alpha(0.5);
+        let points = synthetic(&truth, &[(0.5, 7), (1.0, 9), (2.0, 11), (4.0, 13)]);
+        let fit = fit_cnot_model(&points, truth.c);
+        assert!((fit.alpha - 0.5).abs() < 0.05, "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn tolerates_noisy_data() {
+        let truth = ErrorModelParams::paper();
+        let mut points = synthetic(&truth, &[(0.5, 7), (1.0, 9), (2.0, 11), (4.0, 13)]);
+        for (i, p) in points.iter_mut().enumerate() {
+            // ±20% multiplicative noise.
+            p.error_per_cnot *= 1.0 + 0.2 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let fit = fit_cnot_model(&points, truth.c);
+        assert!((fit.alpha - truth.alpha).abs() < 0.15, "alpha {}", fit.alpha);
+        assert!((fit.lambda - 10.0).abs() < 3.0, "lambda {}", fit.lambda);
+    }
+
+    #[test]
+    fn to_params_round_trip() {
+        let fit = FitResult {
+            alpha: 0.25,
+            lambda: 20.0,
+            c: 0.1,
+            residual: 0.0,
+        };
+        let params = fit.to_params();
+        assert!((params.lambda() - 20.0).abs() < 1e-9);
+        assert_eq!(params.alpha, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        let _ = fit_cnot_model(&[], 0.1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Round-trips across a range of true parameters.
+        #[test]
+        fn round_trip(alpha in 0.05f64..1.0, lambda in 4.0f64..30.0) {
+            let truth = ErrorModelParams {
+                c: 0.1,
+                p_phys: 1e-2 / lambda,
+                p_thres: 1e-2,
+                alpha,
+            };
+            let grid = [(0.5, 9u32), (1.0, 11), (2.0, 13), (4.0, 15), (1.0, 17)];
+            let points = synthetic(&truth, &grid);
+            // Skip degenerate data (error rates too close to 1).
+            prop_assume!(points.iter().all(|p| p.error_per_cnot < 0.3));
+            let fit = fit_cnot_model(&points, 0.1);
+            prop_assert!((fit.alpha - alpha).abs() / alpha < 0.1,
+                         "alpha {} vs {}", fit.alpha, alpha);
+            prop_assert!((fit.lambda - lambda).abs() / lambda < 0.1,
+                         "lambda {} vs {}", fit.lambda, lambda);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Idle-storage syndrome-extraction frequency optimization (Fig. 11c,d).
+//!
+//! A stored qubit decoheres at rate `1/T_coh` between SE rounds; each SE
+//! round itself injects gate noise at roughly [`SE_LOCATIONS_PER_QUBIT`] ≈ 10
+//! physical fault locations per data qubit (four two-qubit gates touching the
+//! qubit plus preparation/measurement shares). In the Eq. (3) language, the
+//! idle contribution `Δt/T_coh` adds to the per-round gate contribution
+//! `n_loc·p_phys`, so the logical error per qubit per round is
+//!
+//! ```text
+//! p_L(Δt) = C · ( (1 + Δt/(n_loc·p_phys·T_coh)) / Λ )^((d+1)/2)
+//! ```
+//!
+//! and the error *per unit time* is `p_L(Δt)/Δt`. Too-frequent rounds pay
+//! gate noise repeatedly; too-rare rounds let idle errors pile up — the
+//! optimum `Δt* = n_loc·p_phys·T_coh/(k−1)` (k = (d+1)/2) sits where the idle
+//! error is comparable to the per-round gate error, ≈ 8 ms for the paper's
+//! 10 s coherence time at d = 27 — the paper's Fig. 11(c,d) and its §IV.2
+//! choice of "a QEC round for storage qubits every 8 ms".
+
+use crate::params::ErrorModelParams;
+
+/// Effective physical fault locations per data qubit per SE round (four
+/// two-qubit gates ≈ 8 shared locations plus reset/readout shares).
+pub const SE_LOCATIONS_PER_QUBIT: f64 = 10.0;
+
+/// Logical error per qubit per SE round when idling with period `dt` seconds
+/// at coherence time `t_coh`.
+///
+/// # Panics
+///
+/// Panics if `dt` or `t_coh` is not strictly positive.
+pub fn idle_error_per_round(
+    params: &ErrorModelParams,
+    distance: u32,
+    dt: f64,
+    t_coh: f64,
+) -> f64 {
+    assert!(dt.is_finite() && dt > 0.0, "SE period must be positive");
+    assert!(
+        t_coh.is_finite() && t_coh > 0.0,
+        "coherence time must be positive"
+    );
+    let idle_relative = dt / t_coh / (SE_LOCATIONS_PER_QUBIT * params.p_phys);
+    let base = (1.0 + idle_relative) / params.lambda();
+    params.c * base.powf(f64::from(distance + 1) / 2.0)
+}
+
+/// Logical error per qubit per second of storage at SE period `dt`.
+pub fn idle_error_per_second(
+    params: &ErrorModelParams,
+    distance: u32,
+    dt: f64,
+    t_coh: f64,
+) -> f64 {
+    idle_error_per_round(params, distance, dt, t_coh) / dt
+}
+
+/// Smallest odd distance whose idle error per second meets `target`, at
+/// period `dt`.
+pub fn idle_distance_for_target(
+    params: &ErrorModelParams,
+    dt: f64,
+    t_coh: f64,
+    target_per_second: f64,
+    max_distance: u32,
+) -> Option<u32> {
+    (3..=max_distance)
+        .step_by(2)
+        .find(|&d| idle_error_per_second(params, d, dt, t_coh) <= target_per_second)
+}
+
+/// The SE period minimizing the idle error per second at fixed distance,
+/// found on a log grid over `[1 µs, t_coh]`.
+pub fn optimal_idle_period(
+    params: &ErrorModelParams,
+    distance: u32,
+    t_coh: f64,
+) -> f64 {
+    let mut best = (f64::INFINITY, 1e-3);
+    let mut dt = 1e-6;
+    while dt <= t_coh {
+        let e = idle_error_per_second(params, distance, dt, t_coh);
+        if e < best.0 {
+            best = (e, dt);
+        }
+        dt *= 1.05;
+    }
+    best.1
+}
+
+/// One point of the Fig. 11(c,d) sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleSweepPoint {
+    /// SE period in seconds.
+    pub dt: f64,
+    /// Logical error per qubit per second.
+    pub error_per_second: f64,
+    /// Relative space–time volume (d² for the distance meeting the target).
+    pub relative_volume: Option<f64>,
+}
+
+/// Sweeps the SE period, reporting error rates and the volume of the distance
+/// needed to meet `target_per_second` (Fig. 11c,d series).
+pub fn sweep_idle_period(
+    params: &ErrorModelParams,
+    distance: u32,
+    t_coh: f64,
+    target_per_second: f64,
+    periods: &[f64],
+) -> Vec<IdleSweepPoint> {
+    periods
+        .iter()
+        .map(|&dt| {
+            let error = idle_error_per_second(params, distance, dt, t_coh);
+            let volume = idle_distance_for_target(params, dt, t_coh, target_per_second, 199)
+                .map(|d| f64::from(d) * f64::from(d));
+            IdleSweepPoint {
+                dt,
+                error_per_second: error,
+                relative_volume: volume,
+            }
+        })
+        .collect()
+}
+
+/// The closed-form optimum of the smooth model:
+/// `Δt* = n_loc·p_phys·T_coh/(k−1)` with `k = (d+1)/2`; the analytic
+/// counterpart of [`optimal_idle_period`].
+pub fn analytic_optimal_idle_period(
+    params: &ErrorModelParams,
+    distance: u32,
+    t_coh: f64,
+) -> f64 {
+    let k = f64::from(distance + 1) / 2.0;
+    SE_LOCATIONS_PER_QUBIT * params.p_phys * t_coh / (k - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p() -> ErrorModelParams {
+        ErrorModelParams::paper()
+    }
+
+    #[test]
+    fn optimum_is_order_10_ms_at_10s_coherence() {
+        // Paper §IV.2: "a QEC round for storage qubits every 8 ms" at 10 s.
+        let dt = optimal_idle_period(&p(), 27, 10.0);
+        assert!(
+            (1e-3..30e-3).contains(&dt),
+            "optimal period {dt} should be of order 10 ms"
+        );
+    }
+
+    #[test]
+    fn optimum_roughly_independent_of_distance() {
+        // Fig. 11(c): the optimal frequency barely moves with d.
+        let d15 = optimal_idle_period(&p(), 15, 10.0);
+        let d35 = optimal_idle_period(&p(), 35, 10.0);
+        assert!(d15 / d35 < 5.0 && d35 / d15 < 5.0, "{d15} vs {d35}");
+    }
+
+    #[test]
+    fn error_per_second_is_u_shaped() {
+        let params = p();
+        let fast = idle_error_per_second(&params, 27, 1e-5, 10.0);
+        let opt = idle_error_per_second(&params, 27, 8e-3, 10.0);
+        let slow = idle_error_per_second(&params, 27, 1.0, 10.0);
+        assert!(opt < fast, "opt {opt} vs fast {fast}");
+        assert!(opt < slow, "opt {opt} vs slow {slow}");
+    }
+
+    #[test]
+    fn shorter_coherence_needs_faster_rounds() {
+        let long = optimal_idle_period(&p(), 27, 100.0);
+        let short = optimal_idle_period(&p(), 27, 1.0);
+        assert!(short < long);
+    }
+
+    #[test]
+    fn analytic_and_grid_optimum_agree() {
+        let grid = optimal_idle_period(&p(), 27, 10.0);
+        let analytic = analytic_optimal_idle_period(&p(), 27, 10.0);
+        assert!(
+            (grid / analytic - 1.0).abs() < 0.2,
+            "grid {grid} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn sweep_reports_volumes() {
+        let pts = sweep_idle_period(&p(), 27, 10.0, 1e-10, &[1e-4, 1e-3, 1e-2, 1e-1]);
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().any(|pt| pt.relative_volume.is_some()));
+    }
+
+    proptest! {
+        /// Idle error per round grows with the period.
+        #[test]
+        fn idle_error_monotone_in_dt(k in 1u32..20, dt_ms in 1.0f64..100.0) {
+            let d = 2 * k + 1;
+            let dt = dt_ms * 1e-3;
+            prop_assert!(
+                idle_error_per_round(&p(), d, dt * 2.0, 10.0)
+                    > idle_error_per_round(&p(), d, dt, 10.0)
+            );
+        }
+
+        /// At very short periods the model reduces to the memory limit.
+        #[test]
+        fn short_period_recovers_memory(k in 1u32..20) {
+            let d = 2 * k + 1;
+            let per_round = idle_error_per_round(&p(), d, 1e-9, 10.0);
+            let memory = crate::logical::memory_error_per_round(&p(), d);
+            prop_assert!((per_round / memory - 1.0).abs() < 1e-3);
+        }
+    }
+}

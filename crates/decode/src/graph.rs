@@ -1,0 +1,251 @@
+//! Decoding graphs built from detector error models.
+//!
+//! A decoding graph has one node per detector plus a single virtual boundary
+//! node. Every graphlike DEM error becomes an edge: two-detector errors join
+//! their detectors, single-detector errors join the detector to the boundary.
+//! Edge weights are the usual log-likelihood ratios `ln((1-p)/p)`, and each
+//! edge carries the observable mask its underlying error flips.
+
+use raa_stabsim::dem::DetectorErrorModel;
+use std::fmt;
+
+/// Error building a decoding graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The DEM contained an error flipping more than two detectors.
+    NotGraphlike {
+        /// Number of detectors of the offending mechanism.
+        num_detectors: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NotGraphlike { num_detectors } => write!(
+                f,
+                "detector error model is not graphlike: mechanism flips {num_detectors} detectors \
+                 (decompose it first)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// One edge of the decoding graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// First endpoint (a detector index).
+    pub u: u32,
+    /// Second endpoint, or `None` for the boundary.
+    pub v: Option<u32>,
+    /// Log-likelihood weight `ln((1-p)/p)`, clamped to be positive.
+    pub weight: f64,
+    /// Firing probability of the underlying mechanism.
+    pub probability: f64,
+    /// Observable mask flipped when this edge is in the correction.
+    pub observables: u64,
+}
+
+/// A matching/union-find decoding graph.
+///
+/// # Example
+///
+/// ```
+/// use raa_stabsim::{Circuit, MeasRecord, DetectorErrorModel};
+/// use raa_decode::graph::DecodingGraph;
+///
+/// let mut c = Circuit::new();
+/// c.r(&[0]);
+/// c.x_error(&[0], 1e-3);
+/// c.m(&[0]);
+/// c.detector(&[MeasRecord::back(1)]);
+/// let dem = DetectorErrorModel::from_circuit(&c);
+/// let graph = DecodingGraph::from_dem(&dem)?;
+/// assert_eq!(graph.num_edges(), 1);
+/// # Ok::<(), raa_decode::graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodingGraph {
+    num_detectors: usize,
+    num_observables: usize,
+    edges: Vec<Edge>,
+    /// Edge indices incident to each detector.
+    adjacency: Vec<Vec<u32>>,
+    /// Probability-weighted count of mechanisms dropped because they flip no
+    /// detector but do flip observables (an irreducible logical error floor).
+    undetectable_observable_probability: f64,
+}
+
+impl DecodingGraph {
+    /// Builds the graph from a graphlike DEM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotGraphlike`] if a mechanism flips more than two
+    /// detectors; call [`DetectorErrorModel::decompose_graphlike`] first, or
+    /// use [`DecodingGraph::from_dem_decomposed`].
+    pub fn from_dem(dem: &DetectorErrorModel) -> Result<Self, GraphError> {
+        let mut graph = Self {
+            num_detectors: dem.num_detectors,
+            num_observables: dem.num_observables,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); dem.num_detectors],
+            undetectable_observable_probability: 0.0,
+        };
+        for e in dem.iter() {
+            match e.detectors.len() {
+                0 => {
+                    if e.observables != 0 {
+                        let p = e.probability;
+                        let q = &mut graph.undetectable_observable_probability;
+                        *q = *q * (1.0 - p) + p * (1.0 - *q);
+                    }
+                }
+                1 => graph.push_edge(e.detectors[0], None, e.probability, e.observables),
+                2 => graph.push_edge(
+                    e.detectors[0],
+                    Some(e.detectors[1]),
+                    e.probability,
+                    e.observables,
+                ),
+                n => return Err(GraphError::NotGraphlike { num_detectors: n }),
+            }
+        }
+        Ok(graph)
+    }
+
+    /// Builds the graph from any DEM, decomposing hyperedges first.
+    ///
+    /// Returns the graph and the number of hyperedges that needed arbitrary
+    /// (non-matching) decomposition.
+    pub fn from_dem_decomposed(dem: &DetectorErrorModel) -> (Self, usize) {
+        let (graphlike, arbitrary) = dem.decompose_graphlike();
+        let graph = Self::from_dem(&graphlike)
+            .expect("decompose_graphlike output must be graphlike");
+        (graph, arbitrary)
+    }
+
+    fn push_edge(&mut self, u: u32, v: Option<u32>, probability: f64, observables: u64) {
+        let p = probability.clamp(1e-15, 0.5 - 1e-15);
+        let weight = ((1.0 - p) / p).ln();
+        let idx = self.edges.len() as u32;
+        self.edges.push(Edge {
+            u,
+            v,
+            weight,
+            probability,
+            observables,
+        });
+        self.adjacency[u as usize].push(idx);
+        if let Some(v) = v {
+            self.adjacency[v as usize].push(idx);
+        }
+    }
+
+    /// Number of detector nodes.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of observables tracked on edges.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edge indices incident to detector `d`.
+    pub fn incident(&self, d: u32) -> &[u32] {
+        &self.adjacency[d as usize]
+    }
+
+    /// Probability that some undetectable mechanism flips an observable;
+    /// a floor on the achievable logical error rate.
+    pub fn undetectable_observable_probability(&self) -> f64 {
+        self.undetectable_observable_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raa_stabsim::dem::{DemError, DetectorErrorModel};
+
+    fn dem(errors: Vec<DemError>, nd: usize) -> DetectorErrorModel {
+        DetectorErrorModel {
+            num_detectors: nd,
+            num_observables: 1,
+            errors,
+        }
+    }
+
+    fn err(dets: &[u32], obs: u64, p: f64) -> DemError {
+        DemError {
+            probability: p,
+            detectors: dets.to_vec(),
+            observables: obs,
+        }
+    }
+
+    #[test]
+    fn builds_boundary_and_bulk_edges() {
+        let d = dem(
+            vec![err(&[0], 1, 0.01), err(&[0, 1], 0, 0.02), err(&[1], 0, 0.01)],
+            2,
+        );
+        let g = DecodingGraph::from_dem(&d).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.incident(0).len(), 2);
+        assert_eq!(g.incident(1).len(), 2);
+        let boundary_edges = g.edges().iter().filter(|e| e.v.is_none()).count();
+        assert_eq!(boundary_edges, 2);
+    }
+
+    #[test]
+    fn weights_are_log_likelihood_ratios() {
+        let d = dem(vec![err(&[0], 0, 0.01)], 1);
+        let g = DecodingGraph::from_dem(&d).unwrap();
+        assert!((g.edges()[0].weight - (0.99f64 / 0.01).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_hyperedges() {
+        let d = dem(vec![err(&[0, 1, 2], 0, 0.01)], 3);
+        let e = DecodingGraph::from_dem(&d).unwrap_err();
+        assert_eq!(e, GraphError::NotGraphlike { num_detectors: 3 });
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn decomposed_constructor_accepts_hyperedges() {
+        let d = dem(
+            vec![
+                err(&[0, 1], 0, 0.01),
+                err(&[2], 1, 0.01),
+                err(&[0, 1, 2], 1, 0.001),
+            ],
+            3,
+        );
+        let (g, arbitrary) = DecodingGraph::from_dem_decomposed(&d);
+        assert_eq!(arbitrary, 0);
+        assert!(g.num_edges() >= 2);
+    }
+
+    #[test]
+    fn undetectable_observable_floor_tracked() {
+        let d = dem(vec![err(&[], 1, 0.03)], 0);
+        let g = DecodingGraph::from_dem(&d).unwrap();
+        assert!((g.undetectable_observable_probability() - 0.03).abs() < 1e-12);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Exact minimum-weight perfect matching for small syndromes.
+//!
+//! Computes all-pairs shortest paths between defects (and to the boundary)
+//! with Dijkstra, then finds the exact minimum-weight pairing by bitmask
+//! dynamic programming. Exponential in the number of defects, so it is capped
+//! (default 20 defects) with a greedy fallback; within the cap it plays the
+//! role of the paper's most-likely-error (MLE) reference decoder for
+//! calibrating the decoding factor α on small instances.
+
+use crate::graph::DecodingGraph;
+use crate::Decoder;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Default maximum number of defects for the exact DP.
+pub const DEFAULT_MAX_EXACT_DEFECTS: usize = 20;
+
+/// Result of one shortest-path computation from a defect.
+#[derive(Debug, Clone)]
+struct ShortestPaths {
+    /// dist[node]; the boundary is the last node.
+    dist: Vec<f64>,
+    /// Incoming edge index on the shortest path tree.
+    pred: Vec<u32>,
+}
+
+/// Exact small-instance matching decoder with greedy fallback.
+///
+/// # Example
+///
+/// ```
+/// use raa_stabsim::dem::{DemError, DetectorErrorModel};
+/// use raa_decode::{graph::DecodingGraph, matching::MatchingDecoder, Decoder};
+///
+/// let dem = DetectorErrorModel {
+///     num_detectors: 2,
+///     num_observables: 1,
+///     errors: vec![
+///         DemError { probability: 0.01, detectors: vec![0], observables: 1 },
+///         DemError { probability: 0.01, detectors: vec![0, 1], observables: 0 },
+///         DemError { probability: 0.01, detectors: vec![1], observables: 0 },
+///     ],
+/// };
+/// let graph = DecodingGraph::from_dem(&dem).unwrap();
+/// let decoder = MatchingDecoder::new(graph);
+/// // Two adjacent defects: matched internally, no logical flip.
+/// assert_eq!(decoder.predict(&[0, 1]), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatchingDecoder {
+    graph: DecodingGraph,
+    max_exact_defects: usize,
+}
+
+impl MatchingDecoder {
+    /// Builds a decoder owning `graph` with the default exact-DP cap.
+    pub fn new(graph: DecodingGraph) -> Self {
+        Self {
+            graph,
+            max_exact_defects: DEFAULT_MAX_EXACT_DEFECTS,
+        }
+    }
+
+    /// Sets the maximum number of defects decoded exactly (≤ 24).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` exceeds 24 (the DP table would be too large).
+    pub fn with_max_exact_defects(mut self, cap: usize) -> Self {
+        assert!(cap <= 24, "exact matching cap too large: {cap}");
+        self.max_exact_defects = cap;
+        self
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DecodingGraph {
+        &self.graph
+    }
+
+    /// Whether a syndrome of `n` defects will be decoded exactly.
+    pub fn is_exact_for(&self, n: usize) -> bool {
+        n <= self.max_exact_defects
+    }
+
+    fn dijkstra(&self, source: u32) -> ShortestPaths {
+        let nd = self.graph.num_detectors();
+        let boundary = nd;
+        let n = nd + 1;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut pred = vec![u32::MAX; n];
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+        dist[source as usize] = 0.0;
+        heap.push(HeapItem {
+            dist: 0.0,
+            node: source,
+        });
+        while let Some(HeapItem { dist: d, node }) = heap.pop() {
+            if d > dist[node as usize] {
+                continue;
+            }
+            if node as usize == boundary {
+                // Paths through the boundary are not physical error chains.
+                continue;
+            }
+            for &ei in self.graph.incident(node) {
+                let e = &self.graph.edges()[ei as usize];
+                let other = if e.u == node {
+                    e.v.unwrap_or(boundary as u32)
+                } else {
+                    e.u
+                };
+                let nd2 = d + e.weight;
+                if nd2 < dist[other as usize] {
+                    dist[other as usize] = nd2;
+                    pred[other as usize] = ei;
+                    heap.push(HeapItem {
+                        dist: nd2,
+                        node: other,
+                    });
+                }
+            }
+        }
+        ShortestPaths { dist, pred }
+    }
+
+    /// Observable mask along the shortest-path tree of `paths` from `from`
+    /// back to the tree's source.
+    fn path_observables(&self, paths: &ShortestPaths, mut from: u32) -> u64 {
+        let boundary = self.graph.num_detectors() as u32;
+        let mut mask = 0u64;
+        while paths.pred[from as usize] != u32::MAX {
+            let e = &self.graph.edges()[paths.pred[from as usize] as usize];
+            mask ^= e.observables;
+            let next = if e.u == from {
+                e.v.unwrap_or(boundary)
+            } else {
+                e.u
+            };
+            if next == from {
+                break;
+            }
+            from = next;
+            if paths.pred[from as usize] == u32::MAX {
+                break;
+            }
+            if from == boundary {
+                break;
+            }
+        }
+        mask
+    }
+
+    /// Decodes exactly (if within the cap) or greedily.
+    pub fn decode(&self, defects: &[u32]) -> u64 {
+        let k = defects.len();
+        if k == 0 {
+            return 0;
+        }
+        let paths: Vec<ShortestPaths> = defects.iter().map(|&d| self.dijkstra(d)).collect();
+        let boundary = self.graph.num_detectors();
+        // Pair costs and boundary costs.
+        let pair = |i: usize, j: usize| paths[i].dist[defects[j] as usize];
+        let bnd = |i: usize| paths[i].dist[boundary];
+
+        let pairing = if k <= self.max_exact_defects {
+            exact_pairing(k, &pair, &bnd)
+        } else {
+            greedy_pairing(k, &pair, &bnd)
+        };
+
+        let mut mask = 0u64;
+        for m in pairing {
+            match m {
+                Match::Pair(i, j) => mask ^= self.path_observables(&paths[i], defects[j]),
+                Match::Boundary(i) => {
+                    mask ^= self.path_observables(&paths[i], boundary as u32);
+                }
+            }
+        }
+        mask
+    }
+}
+
+impl Decoder for MatchingDecoder {
+    fn predict(&self, defects: &[u32]) -> u64 {
+        self.decode(defects)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Match {
+    Pair(usize, usize),
+    Boundary(usize),
+}
+
+/// Exact min-cost pairing by bitmask DP: every defect pairs with another or
+/// with the boundary.
+fn exact_pairing(
+    k: usize,
+    pair: &dyn Fn(usize, usize) -> f64,
+    bnd: &dyn Fn(usize) -> f64,
+) -> Vec<Match> {
+    let full = (1usize << k) - 1;
+    let mut cost = vec![f64::INFINITY; full + 1];
+    let mut choice: Vec<Match> = vec![Match::Boundary(usize::MAX); full + 1];
+    cost[0] = 0.0;
+    for mask in 1..=full {
+        let i = mask.trailing_zeros() as usize;
+        // Option A: defect i to boundary.
+        let rest = mask & !(1 << i);
+        let c = cost[rest] + bnd(i);
+        if c < cost[mask] {
+            cost[mask] = c;
+            choice[mask] = Match::Boundary(i);
+        }
+        // Option B: defect i paired with j.
+        let mut rem = rest;
+        while rem != 0 {
+            let j = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            let c = cost[mask & !(1 << i) & !(1 << j)] + pair(i, j);
+            if c < cost[mask] {
+                cost[mask] = c;
+                choice[mask] = Match::Pair(i, j);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut mask = full;
+    while mask != 0 {
+        let m = choice[mask];
+        match m {
+            Match::Boundary(i) => {
+                out.push(m);
+                mask &= !(1 << i);
+            }
+            Match::Pair(i, j) => {
+                out.push(m);
+                mask &= !(1 << i);
+                mask &= !(1 << j);
+            }
+        }
+    }
+    out
+}
+
+/// Greedy pairing: repeatedly take the globally cheapest remaining option.
+fn greedy_pairing(
+    k: usize,
+    pair: &dyn Fn(usize, usize) -> f64,
+    bnd: &dyn Fn(usize) -> f64,
+) -> Vec<Match> {
+    #[derive(Debug)]
+    struct Option_ {
+        cost: f64,
+        m: Match,
+    }
+    let mut options: Vec<Option_> = Vec::new();
+    for i in 0..k {
+        options.push(Option_ {
+            cost: bnd(i),
+            m: Match::Boundary(i),
+        });
+        for j in (i + 1)..k {
+            options.push(Option_ {
+                cost: pair(i, j),
+                m: Match::Pair(i, j),
+            });
+        }
+    }
+    options.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(Ordering::Equal));
+    let mut used = vec![false; k];
+    let mut out = Vec::new();
+    for o in options {
+        match o.m {
+            Match::Boundary(i) if !used[i] => {
+                used[i] = true;
+                out.push(o.m);
+            }
+            Match::Pair(i, j) if !used[i] && !used[j] => {
+                used[i] = true;
+                used[j] = true;
+                out.push(o.m);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raa_stabsim::dem::{DemError, DetectorErrorModel};
+
+    fn chain(n: usize, p: f64) -> DecodingGraph {
+        // B - 0 - 1 - ... - (n-1) - B, observable on the left boundary edge.
+        let mut errors = vec![DemError {
+            probability: p,
+            detectors: vec![0],
+            observables: 1,
+        }];
+        for i in 0..n - 1 {
+            errors.push(DemError {
+                probability: p,
+                detectors: vec![i as u32, i as u32 + 1],
+                observables: 0,
+            });
+        }
+        errors.push(DemError {
+            probability: p,
+            detectors: vec![n as u32 - 1],
+            observables: 0,
+        });
+        DecodingGraph::from_dem(&DetectorErrorModel {
+            num_detectors: n,
+            num_observables: 1,
+            errors,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn single_defect_left_goes_left() {
+        let d = MatchingDecoder::new(chain(5, 0.01));
+        assert_eq!(d.predict(&[0]), 1);
+        assert_eq!(d.predict(&[4]), 0);
+    }
+
+    #[test]
+    fn middle_pair_matches_internally() {
+        let d = MatchingDecoder::new(chain(5, 0.01));
+        assert_eq!(d.predict(&[1, 2]), 0);
+    }
+
+    #[test]
+    fn far_pair_splits_to_boundaries() {
+        // Defects at both ends of a long chain: cheaper to go out both sides.
+        let d = MatchingDecoder::new(chain(9, 0.01));
+        assert_eq!(d.predict(&[0, 8]), 1);
+    }
+
+    #[test]
+    fn four_defects_exact() {
+        let d = MatchingDecoder::new(chain(9, 0.01));
+        // Clusters {1,2} and {6,7}: both internal.
+        assert_eq!(d.predict(&[1, 2, 6, 7]), 0);
+    }
+
+    #[test]
+    fn empty_syndrome() {
+        let d = MatchingDecoder::new(chain(3, 0.01));
+        assert_eq!(d.predict(&[]), 0);
+    }
+
+    #[test]
+    fn greedy_fallback_matches_exact_on_easy_instances() {
+        let g = chain(12, 0.01);
+        let exact = MatchingDecoder::new(g.clone());
+        let greedy = MatchingDecoder::new(g).with_max_exact_defects(0);
+        for syndrome in [vec![0u32], vec![2, 3], vec![0, 1, 10, 11], vec![5, 6]] {
+            assert_eq!(
+                exact.predict(&syndrome),
+                greedy.predict(&syndrome),
+                "syndrome {syndrome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_paths_respected() {
+        // Heavier direct boundary edge vs light two-hop path.
+        let dem = DetectorErrorModel {
+            num_detectors: 2,
+            num_observables: 1,
+            errors: vec![
+                DemError {
+                    probability: 1e-8,
+                    detectors: vec![0],
+                    observables: 1,
+                },
+                DemError {
+                    probability: 0.2,
+                    detectors: vec![0, 1],
+                    observables: 0,
+                },
+                DemError {
+                    probability: 0.2,
+                    detectors: vec![1],
+                    observables: 0,
+                },
+            ],
+        };
+        let g = DecodingGraph::from_dem(&dem).unwrap();
+        let d = MatchingDecoder::new(g);
+        assert_eq!(d.predict(&[0]), 0, "must route around the unlikely edge");
+    }
+}

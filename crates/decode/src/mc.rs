@@ -1,0 +1,263 @@
+//! Monte-Carlo logical-error-rate estimation: sample, decode, compare.
+
+use crate::Decoder;
+use raa_stabsim::{Circuit, FrameSim};
+use rand::Rng;
+
+/// Accumulated decoding statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Number of shots decoded.
+    pub shots: usize,
+    /// Shots where the predicted observable mask differed from the actual one.
+    pub failures: usize,
+}
+
+impl DecodeStats {
+    /// The logical error rate estimate (failures / shots).
+    pub fn logical_error_rate(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.shots as f64
+        }
+    }
+
+    /// Binomial standard error of the estimate.
+    pub fn standard_error(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let p = self.logical_error_rate();
+        (p * (1.0 - p) / self.shots as f64).sqrt()
+    }
+
+    /// Merges another batch of statistics into this one.
+    pub fn merge(&mut self, other: DecodeStats) {
+        self.shots += other.shots;
+        self.failures += other.failures;
+    }
+}
+
+/// Batch size used when sampling shots (bounds peak memory).
+const BATCH: usize = 4096;
+
+/// Estimates the logical error rate of `circuit` under `decoder`.
+///
+/// Samples detector data with the Pauli-frame simulator in batches, decodes
+/// each shot's syndrome and counts shots where the decoder's predicted
+/// observable mask differs from the actual flips.
+///
+/// # Example
+///
+/// ```
+/// use raa_stabsim::{Circuit, MeasRecord, DetectorErrorModel};
+/// use raa_decode::{graph::DecodingGraph, unionfind::UnionFindDecoder, mc};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut c = Circuit::new();
+/// c.r(&[0, 1, 2, 3, 4]);
+/// c.x_error(&[0, 2, 4], 0.05);
+/// c.cx(&[(0, 1), (2, 1), (2, 3), (4, 3)]);
+/// c.mr(&[1, 3]);
+/// c.detector(&[MeasRecord::back(2)]);
+/// c.detector(&[MeasRecord::back(1)]);
+/// c.m(&[0, 2, 4]);
+/// c.observable_include(0, &[MeasRecord::back(3)]);
+///
+/// let dem = DetectorErrorModel::from_circuit(&c);
+/// let decoder = UnionFindDecoder::new(DecodingGraph::from_dem(&dem).unwrap());
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let stats = mc::logical_error_rate(&c, &decoder, 20_000, &mut rng);
+/// // Distance-3 repetition code at p = 0.05: roughly 3 p^2 ≈ 0.007.
+/// assert!(stats.logical_error_rate() < 0.03);
+/// ```
+pub fn logical_error_rate<D: Decoder, R: Rng>(
+    circuit: &Circuit,
+    decoder: &D,
+    shots: usize,
+    rng: &mut R,
+) -> DecodeStats {
+    let mut stats = DecodeStats::default();
+    let mut remaining = shots;
+    while remaining > 0 {
+        let batch = remaining.min(BATCH);
+        let samples = FrameSim::sample(circuit, batch, rng);
+        for s in 0..batch {
+            let syndrome = samples.fired_detectors(s);
+            let predicted = decoder.predict(&syndrome);
+            let actual = samples.observable_mask(s);
+            stats.shots += 1;
+            if predicted != actual {
+                stats.failures += 1;
+            }
+        }
+        remaining -= batch;
+    }
+    stats
+}
+
+/// Like [`logical_error_rate`], but stops early once `target_failures`
+/// failures have been seen (useful deep below threshold where failures are
+/// rare); always decodes at least one batch.
+pub fn logical_error_rate_until<D: Decoder, R: Rng>(
+    circuit: &Circuit,
+    decoder: &D,
+    max_shots: usize,
+    target_failures: usize,
+    rng: &mut R,
+) -> DecodeStats {
+    let mut stats = DecodeStats::default();
+    while stats.shots < max_shots {
+        let batch = (max_shots - stats.shots).min(BATCH);
+        let samples = FrameSim::sample(circuit, batch, rng);
+        for s in 0..batch {
+            let syndrome = samples.fired_detectors(s);
+            let predicted = decoder.predict(&syndrome);
+            let actual = samples.observable_mask(s);
+            stats.shots += 1;
+            if predicted != actual {
+                stats.failures += 1;
+            }
+        }
+        if stats.failures >= target_failures {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DecodingGraph;
+    use crate::matching::MatchingDecoder;
+    use crate::unionfind::UnionFindDecoder;
+    use raa_stabsim::{DetectorErrorModel, MeasRecord};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// d-distance bit-flip repetition code memory, `rounds` rounds.
+    fn repetition(d: usize, rounds: usize, p: f64) -> Circuit {
+        let n_data = d;
+        let n_anc = d - 1;
+        let data: Vec<u32> = (0..n_data as u32).map(|i| 2 * i).collect();
+        let anc: Vec<u32> = (0..n_anc as u32).map(|i| 2 * i + 1).collect();
+        let mut c = Circuit::new();
+        let all: Vec<u32> = (0..(n_data + n_anc) as u32).collect();
+        c.r(&all);
+        for round in 0..rounds {
+            c.x_error(&data, p);
+            let pairs: Vec<(u32, u32)> = (0..n_anc)
+                .flat_map(|i| [(data[i], anc[i]), (data[i + 1], anc[i])])
+                .collect();
+            c.cx(&pairs);
+            c.mr(&anc);
+            for i in 0..n_anc {
+                if round == 0 {
+                    c.detector(&[MeasRecord::back(n_anc - i)]);
+                } else {
+                    c.detector(&[
+                        MeasRecord::back(n_anc - i),
+                        MeasRecord::back(2 * n_anc - i),
+                    ]);
+                }
+            }
+        }
+        c.m(&data);
+        for i in 0..n_anc {
+            c.detector(&[
+                MeasRecord::back(n_data - i),
+                MeasRecord::back(n_data - i - 1),
+                MeasRecord::back(n_data + n_anc - i),
+            ]);
+        }
+        c.observable_include(0, &[MeasRecord::back(n_data)]);
+        c
+    }
+
+    fn uf(c: &Circuit) -> UnionFindDecoder {
+        let dem = DetectorErrorModel::from_circuit(c);
+        UnionFindDecoder::new(DecodingGraph::from_dem(&dem).unwrap())
+    }
+
+    fn mwpm(c: &Circuit) -> MatchingDecoder {
+        let dem = DetectorErrorModel::from_circuit(c);
+        MatchingDecoder::new(DecodingGraph::from_dem(&dem).unwrap())
+    }
+
+    #[test]
+    fn noiseless_circuit_never_fails() {
+        let c = repetition(3, 2, 0.0);
+        let stats = logical_error_rate(&c, &uf(&c), 500, &mut StdRng::seed_from_u64(1));
+        assert_eq!(stats.failures, 0);
+    }
+
+    #[test]
+    fn decoding_beats_raw_error_rate() {
+        let p = 0.05;
+        let c = repetition(3, 3, p);
+        let stats = logical_error_rate(&c, &uf(&c), 20_000, &mut StdRng::seed_from_u64(2));
+        // Raw single-qubit flip probability over 3 rounds ~ 3p/... just check
+        // we're well below p itself.
+        assert!(
+            stats.logical_error_rate() < p,
+            "rate = {}",
+            stats.logical_error_rate()
+        );
+    }
+
+    #[test]
+    fn larger_distance_suppresses_errors() {
+        let p = 0.03;
+        let mut rng = StdRng::seed_from_u64(3);
+        let c3 = repetition(3, 3, p);
+        let c7 = repetition(7, 3, p);
+        let r3 = logical_error_rate(&c3, &uf(&c3), 30_000, &mut rng).logical_error_rate();
+        let r7 = logical_error_rate(&c7, &uf(&c7), 30_000, &mut rng).logical_error_rate();
+        assert!(r7 < r3, "d=3: {r3}, d=7: {r7}");
+    }
+
+    #[test]
+    fn matching_at_least_as_good_as_unionfind() {
+        let p = 0.08;
+        let c = repetition(5, 4, p);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r_uf = logical_error_rate(&c, &uf(&c), 20_000, &mut rng).logical_error_rate();
+        let mut rng = StdRng::seed_from_u64(4);
+        let r_m = logical_error_rate(&c, &mwpm(&c), 20_000, &mut rng).logical_error_rate();
+        // Exact matching should not be substantially worse.
+        assert!(r_m <= r_uf * 1.25 + 0.01, "uf = {r_uf}, mwpm = {r_m}");
+    }
+
+    #[test]
+    fn early_stop_honours_failure_target() {
+        let c = repetition(3, 2, 0.2);
+        let stats = logical_error_rate_until(
+            &c,
+            &uf(&c),
+            1_000_000,
+            10,
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert!(stats.failures >= 10);
+        assert!(stats.shots < 1_000_000);
+    }
+
+    #[test]
+    fn stats_merge_and_errors() {
+        let mut a = DecodeStats {
+            shots: 100,
+            failures: 10,
+        };
+        a.merge(DecodeStats {
+            shots: 100,
+            failures: 0,
+        });
+        assert_eq!(a.shots, 200);
+        assert!((a.logical_error_rate() - 0.05).abs() < 1e-12);
+        assert!(a.standard_error() > 0.0);
+        assert_eq!(DecodeStats::default().logical_error_rate(), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! CNOT fan-out alternatives: the GHZ-assisted constant-depth fan-out the
+//! paper adopts versus the naive log-depth CNOT tree it rejects (§III.8:
+//! "a naive implementation might use a log-depth circuit to achieve the
+//! required fan-out, necessitating long moves").
+//!
+//! Both models answer the same question — fan one control qubit into `m`
+//! targets laid out as a row of patches — so the ablation binary can show
+//! why the measurement-based GHZ route wins on an atom array: tree levels
+//! double the move distance each layer (√-law or not, long moves dominate),
+//! while the GHZ route is a fixed number of short hops plus measurements.
+
+use raa_core::{logical, ArchContext};
+use raa_physics::motion;
+
+/// Cost summary of one fan-out of a control into `m` targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FanoutCost {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Extra logical patches held during the fan-out.
+    pub extra_patches: f64,
+    /// Logical error probability.
+    pub logical_error: f64,
+}
+
+/// The paper's measurement-based GHZ fan-out (Fig. 10b,c): prepare a GHZ
+/// chain with two CX layers and helper measurements, transversal CX into the
+/// targets, X-measure the chain. All moves are `spacing·d` hops.
+pub fn ghz_fanout(ctx: &ArchContext, m: u32, spacing: f64) -> FanoutCost {
+    assert!(m >= 1, "need at least one target");
+    assert!(spacing > 0.0, "spacing must be positive");
+    let cycle = ctx.cycle();
+    let hop = motion::move_time_sites(&ctx.physical, spacing * f64::from(ctx.distance));
+    // Two CX layers for GHZ prep + one transversal CX to targets, each with
+    // a short hop and an SE round; helper and chain measurements pipeline.
+    let seconds = 3.0 * (hop + cycle.transversal_step(1.0 / ctx.cnots_per_round))
+        + ctx.physical.measure_time;
+    let ghz_patches = f64::from(m) * 1.5 / spacing;
+    let per_round = logical::error_per_qubit_round(&ctx.error, ctx.distance, ctx.cnots_per_round);
+    let logical_error = (ghz_patches + f64::from(m)) * 3.0 * per_round;
+    FanoutCost {
+        seconds,
+        extra_patches: ghz_patches,
+        logical_error: logical_error.min(1.0),
+    }
+}
+
+/// The naive log-depth CNOT tree: level ℓ copies the control across a span
+/// that doubles each level, so the final level moves across `m/2` patch
+/// pitches — exactly the long-range moves the paper's layouts avoid.
+pub fn tree_fanout(ctx: &ArchContext, m: u32) -> FanoutCost {
+    assert!(m >= 1, "need at least one target");
+    let cycle = ctx.cycle();
+    let levels = (f64::from(m)).log2().ceil().max(1.0) as u32;
+    let mut seconds = 0.0;
+    for level in 0..levels {
+        // Span in patch pitches at this level.
+        let span = f64::from(1u32 << level.min(30)) / 2.0;
+        let hop = motion::move_time_sites(
+            &ctx.physical,
+            (span * f64::from(ctx.distance)).max(f64::from(ctx.distance)),
+        );
+        seconds += hop + cycle.transversal_step(1.0 / ctx.cnots_per_round);
+    }
+    let per_cnot = logical::cnot_error(&ctx.error, ctx.distance, ctx.cnots_per_round);
+    // m − 1 logical CNOTs in the tree; no extra ancilla patches, but every
+    // target idles for the whole depth.
+    let per_round = logical::error_per_qubit_round(&ctx.error, ctx.distance, ctx.cnots_per_round);
+    let idle_rounds = f64::from(levels);
+    let logical_error =
+        (f64::from(m - 1) * per_cnot + f64::from(m) * idle_rounds * per_round).min(1.0);
+    FanoutCost {
+        seconds,
+        extra_patches: 0.0,
+        logical_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ctx() -> ArchContext {
+        ArchContext::paper()
+    }
+
+    #[test]
+    fn ghz_fanout_is_constant_time_in_m() {
+        let small = ghz_fanout(&ctx(), 64, 2.0);
+        let large = ghz_fanout(&ctx(), 4096, 2.0);
+        assert!((small.seconds - large.seconds).abs() < 1e-12);
+        assert!(large.extra_patches > small.extra_patches);
+    }
+
+    #[test]
+    fn tree_fanout_grows_with_m() {
+        let small = tree_fanout(&ctx(), 64);
+        let large = tree_fanout(&ctx(), 4096);
+        assert!(large.seconds > small.seconds);
+    }
+
+    #[test]
+    fn ghz_beats_tree_at_register_scale() {
+        // The paper's design point: ~3000-bit registers. The GHZ route must
+        // be decisively faster than the log-depth tree.
+        let m = 2994;
+        let ghz = ghz_fanout(&ctx(), m, 2.0);
+        let tree = tree_fanout(&ctx(), m);
+        assert!(
+            tree.seconds > 2.0 * ghz.seconds,
+            "tree {} vs ghz {}",
+            tree.seconds,
+            ghz.seconds
+        );
+    }
+
+    #[test]
+    fn ghz_time_is_milliseconds() {
+        let g = ghz_fanout(&ctx(), 2994, 2.0);
+        assert!((2e-3..10e-3).contains(&g.seconds), "t = {}", g.seconds);
+    }
+
+    proptest! {
+        /// Both models report monotone error in m.
+        #[test]
+        fn errors_monotone(m in 2u32..4000) {
+            let c = ctx();
+            prop_assert!(
+                ghz_fanout(&c, m + 1, 2.0).logical_error >= ghz_fanout(&c, m, 2.0).logical_error
+            );
+            prop_assert!(
+                tree_fanout(&c, m + 1).logical_error >= tree_fanout(&c, m).logical_error - 1e-18
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Transversal implementations of the paper's algorithmic subroutines
+//! (§III.5–III.8): the building blocks composed by the end-to-end estimator.
+//!
+//! * [`bell`] — Bell-pair space–time trade-offs: reaction-limited pipelining
+//!   of sequentially-dependent blocks (Fig. 7);
+//! * [`adder`] — the Cuccaro ripple-carry adder with oblivious carry runways,
+//!   MAJ/UMA blocks in a 3×2-patch layout (Fig. 9);
+//! * [`lookup`] — QROM look-up tables with measurement-based GHZ CNOT
+//!   fan-out and snaked constant-distance moves (Fig. 10);
+//! * [`windowed`] — the windowed lookup-addition combining both, the unit
+//!   step of modular exponentiation (Fig. 5).
+//!
+//! # Example: the paper's per-operation times
+//!
+//! ```
+//! use raa_core::ArchContext;
+//! use raa_gadgets::{adder::CuccaroAdder, lookup::LookupTable};
+//!
+//! let ctx = ArchContext::paper();
+//! let addition = CuccaroAdder::new(2048, 96, 43).duration(&ctx);
+//! let lookup = LookupTable::new(7, 2994).duration(&ctx);
+//! assert!((addition - 0.28).abs() < 0.01); // §IV.2: 0.28 s
+//! assert!((lookup - 0.17).abs() < 0.03);   // §IV.2: 0.17 s
+//! ```
+
+pub mod adder;
+pub mod bell;
+pub mod fanout;
+pub mod lookup;
+pub mod windowed;
+
+pub use adder::CuccaroAdder;
+pub use lookup::LookupTable;
+pub use windowed::LookupAddition;

@@ -1,0 +1,273 @@
+//! AOD (acousto-optic deflector) move validity.
+//!
+//! A 2D AOD addresses a grid of tweezers with one set of row tones and one
+//! set of column tones: during a move, every picked-up atom at row tone `i`
+//! and column tone `j` travels to the intersection of the deflected tones.
+//! The hardware constraint is that tones cannot cross — row order and column
+//! order must be preserved — which is why the paper's layouts move *rigid
+//! blocks* and interleave patches without reordering (its Fig. 8c is
+//! explicitly chosen so that "no qubit re-ordering" is needed).
+//!
+//! [`AodMove`] captures one parallel pick-up-and-move; [`validate`] checks
+//! the no-crossing constraint.
+
+use crate::geometry::Site;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One parallel AOD move: a set of atoms picked up simultaneously, each with
+/// a start and destination site.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AodMove {
+    transfers: Vec<(Site, Site)>,
+}
+
+/// Why an [`AodMove`] is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AodError {
+    /// Two picked atoms share a row or column tone but end up reordered.
+    OrderViolation {
+        /// The two offending start sites.
+        first: Site,
+        second: Site,
+    },
+    /// Two atoms were picked from the same site or sent to the same site.
+    Collision {
+        /// The contested site.
+        site: Site,
+    },
+    /// An atom's row (column) tone maps to two different destination rows
+    /// (columns): a 2D AOD deflects whole tones, not individual traps.
+    ToneConflict {
+        /// True when the conflict is on a row tone, false for a column tone.
+        row: bool,
+        /// The shared source coordinate.
+        coordinate: i64,
+    },
+}
+
+impl fmt::Display for AodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AodError::OrderViolation { first, second } => {
+                write!(f, "tone order violated between atoms at {first} and {second}")
+            }
+            AodError::Collision { site } => write!(f, "site {site} used twice"),
+            AodError::ToneConflict { row, coordinate } => write!(
+                f,
+                "{} tone at {coordinate} deflected to two destinations",
+                if *row { "row" } else { "column" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AodError {}
+
+impl AodMove {
+    /// An empty move.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one atom transfer from `from` to `to`.
+    pub fn transfer(&mut self, from: Site, to: Site) -> &mut Self {
+        self.transfers.push((from, to));
+        self
+    }
+
+    /// Number of atoms moved in parallel.
+    pub fn len(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Whether no atoms are moved.
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty()
+    }
+
+    /// The transfers.
+    pub fn transfers(&self) -> &[(Site, Site)] {
+        &self.transfers
+    }
+
+    /// A rigid translation of `sites` by `(dx, dy)` — always valid.
+    pub fn rigid<I: IntoIterator<Item = Site>>(sites: I, dx: i64, dy: i64) -> Self {
+        let mut mv = Self::new();
+        for s in sites {
+            mv.transfer(s, Site::new(s.x + dx, s.y + dy));
+        }
+        mv
+    }
+
+    /// The longest single-atom displacement, in sites (sets the move time).
+    pub fn max_displacement(&self) -> f64 {
+        self.transfers
+            .iter()
+            .map(|(a, b)| a.distance(*b))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Checks the AOD no-crossing constraints.
+///
+/// # Errors
+///
+/// Returns the first violation found: duplicate pick-up/drop-off sites,
+/// inconsistent tone deflections, or order-crossing rows/columns.
+pub fn validate(mv: &AodMove) -> Result<(), AodError> {
+    let mut starts = BTreeSet::new();
+    let mut ends = BTreeSet::new();
+    for (from, to) in mv.transfers() {
+        if !starts.insert(*from) {
+            return Err(AodError::Collision { site: *from });
+        }
+        if !ends.insert(*to) {
+            return Err(AodError::Collision { site: *to });
+        }
+    }
+    // Each source row tone must map to a single destination row; same for
+    // columns.
+    let mut row_map = std::collections::BTreeMap::new();
+    let mut col_map = std::collections::BTreeMap::new();
+    for (from, to) in mv.transfers() {
+        if *row_map.entry(from.y).or_insert(to.y) != to.y {
+            return Err(AodError::ToneConflict {
+                row: true,
+                coordinate: from.y,
+            });
+        }
+        if *col_map.entry(from.x).or_insert(to.x) != to.x {
+            return Err(AodError::ToneConflict {
+                row: false,
+                coordinate: from.x,
+            });
+        }
+    }
+    // Tone order preservation: the row map and column map must be monotone.
+    let check_monotone = |map: &std::collections::BTreeMap<i64, i64>, row: bool| {
+        let mut prev: Option<(i64, i64)> = None;
+        for (&src, &dst) in map {
+            if let Some((psrc, pdst)) = prev {
+                if dst <= pdst {
+                    return Err(AodError::OrderViolation {
+                        first: if row {
+                            Site::new(0, psrc)
+                        } else {
+                            Site::new(psrc, 0)
+                        },
+                        second: if row {
+                            Site::new(0, src)
+                        } else {
+                            Site::new(src, 0)
+                        },
+                    });
+                }
+            }
+            prev = Some((src, dst));
+        }
+        Ok(())
+    };
+    check_monotone(&row_map, true)?;
+    check_monotone(&col_map, false)?;
+    Ok(())
+}
+
+/// Plans the patch-interleaving move for a transversal gate (Fig. 3b): picks
+/// up the `d × d` data grid at `from` (sites at pitch `pitch`) and overlays
+/// it onto the patch at `to`, offset by half a site so the two grids
+/// interleave. The result is a rigid move, hence always AOD-valid.
+pub fn interleave_patches(from: Site, to: Site, d: u32, pitch: i64) -> AodMove {
+    let sites = (0..d as i64).flat_map(move |r| {
+        (0..d as i64).map(move |c| Site::new(from.x + c * pitch, from.y + r * pitch))
+    });
+    AodMove::rigid(sites, to.x - from.x, to.y - from.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rigid_moves_are_valid() {
+        let sites = (0..5).map(|i| Site::new(i, 2 * i));
+        let mv = AodMove::rigid(sites, 7, -3);
+        assert_eq!(mv.len(), 5);
+        assert!(validate(&mv).is_ok());
+    }
+
+    #[test]
+    fn interleave_move_is_valid_and_sized() {
+        let mv = interleave_patches(Site::new(0, 0), Site::new(27, 0), 27, 1);
+        assert_eq!(mv.len(), 27 * 27);
+        assert!(validate(&mv).is_ok());
+        assert!((mv.max_displacement() - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossing_columns_rejected() {
+        let mut mv = AodMove::new();
+        mv.transfer(Site::new(0, 0), Site::new(5, 0));
+        mv.transfer(Site::new(1, 0), Site::new(4, 0)); // crosses the first
+        match validate(&mv) {
+            Err(AodError::OrderViolation { .. }) => {}
+            other => panic!("expected order violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tone_conflict_rejected() {
+        let mut mv = AodMove::new();
+        // Same source row y=0 deflected to two different rows.
+        mv.transfer(Site::new(0, 0), Site::new(0, 1));
+        mv.transfer(Site::new(1, 0), Site::new(1, 2));
+        match validate(&mv) {
+            Err(AodError::ToneConflict { row: true, .. }) => {}
+            other => panic!("expected row tone conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_destination_rejected() {
+        let mut mv = AodMove::new();
+        mv.transfer(Site::new(0, 0), Site::new(2, 2));
+        mv.transfer(Site::new(1, 1), Site::new(2, 2));
+        match validate(&mv) {
+            Err(AodError::Collision { site }) => assert_eq!(site, Site::new(2, 2)),
+            other => panic!("expected collision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = AodError::Collision {
+            site: Site::new(1, 2),
+        };
+        assert!(!e.to_string().is_empty());
+    }
+
+    proptest! {
+        /// Any rigid translation of any site set is valid.
+        #[test]
+        fn rigid_always_valid(
+            xs in proptest::collection::btree_set((0i64..30, 0i64..30), 1..40),
+            dx in -50i64..50,
+            dy in -50i64..50,
+        ) {
+            let sites: Vec<Site> = xs.into_iter().map(|(x, y)| Site::new(x, y)).collect();
+            let mv = AodMove::rigid(sites, dx, dy);
+            prop_assert!(validate(&mv).is_ok());
+        }
+
+        /// Column-uniform stretches (monotone re-pitching) are valid.
+        #[test]
+        fn monotone_stretch_valid(n in 2i64..12, factor in 2i64..4) {
+            let mut mv = AodMove::new();
+            for i in 0..n {
+                mv.transfer(Site::new(i, 0), Site::new(i * factor, 0));
+            }
+            prop_assert!(validate(&mv).is_ok());
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Zoned array layout: storage, compute (entangling), and readout regions.
+//!
+//! The paper's architecture (Fig. 3b, Fig. 5c,d) organizes the array into
+//! functional regions — dense idle storage, gate zones where patches
+//! interleave, measurement regions — with atoms shuttled between them. This
+//! module provides the bookkeeping: named rectangular zones on the site
+//! grid, capacity accounting at a per-zone atom density, and inter-zone
+//! transit times under the Eq. (1) movement law.
+
+use crate::geometry::{Footprint, Site};
+use crate::motion::move_time;
+use crate::params::PhysicalParams;
+use std::fmt;
+
+/// The functional role of a zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZoneKind {
+    /// Dense idle storage (data-only packing, ~1 atom per site).
+    Storage,
+    /// Entangling/compute region (patches with interleaved ancillas).
+    Compute,
+    /// Readout region (camera field of view).
+    Readout,
+}
+
+/// A rectangular zone of the array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zone {
+    /// Human-readable name ("factory-row", "ghz-lane", ...).
+    pub name: String,
+    /// Role of this zone.
+    pub kind: ZoneKind,
+    /// Lower-left corner, in sites.
+    pub origin: Site,
+    /// Extent in sites.
+    pub footprint: Footprint,
+    /// Atoms per site this zone packs (storage ≈ 1, compute ≈ 2 with
+    /// interleaved ancillas).
+    pub atoms_per_site: f64,
+}
+
+impl Zone {
+    /// Creates a zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `atoms_per_site` is not positive and finite.
+    pub fn new(
+        name: &str,
+        kind: ZoneKind,
+        origin: Site,
+        footprint: Footprint,
+        atoms_per_site: f64,
+    ) -> Self {
+        assert!(
+            atoms_per_site.is_finite() && atoms_per_site > 0.0,
+            "atom density must be positive"
+        );
+        Self {
+            name: name.to_string(),
+            kind,
+            origin,
+            footprint,
+            atoms_per_site,
+        }
+    }
+
+    /// Atom capacity of the zone.
+    pub fn capacity(&self) -> f64 {
+        self.footprint.area() as f64 * self.atoms_per_site
+    }
+
+    /// Centre of the zone, in (fractional) sites.
+    pub fn centre(&self) -> (f64, f64) {
+        (
+            self.origin.x as f64 + self.footprint.width as f64 / 2.0,
+            self.origin.y as f64 + self.footprint.height as f64 / 2.0,
+        )
+    }
+
+    /// Whether `site` lies inside the zone.
+    pub fn contains(&self, site: Site) -> bool {
+        site.x >= self.origin.x
+            && site.y >= self.origin.y
+            && site.x < self.origin.x + self.footprint.width as i64
+            && site.y < self.origin.y + self.footprint.height as i64
+    }
+}
+
+impl fmt::Display for Zone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{:?}] at {} size {} ({} atoms)",
+            self.name,
+            self.kind,
+            self.origin,
+            self.footprint,
+            self.capacity()
+        )
+    }
+}
+
+/// A zoned array layout.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ZoneLayout {
+    zones: Vec<Zone>,
+}
+
+impl ZoneLayout {
+    /// An empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a zone, rejecting overlaps with existing zones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new zone overlaps an existing one.
+    pub fn add(&mut self, zone: Zone) -> &mut Self {
+        for existing in &self.zones {
+            let overlap_x = zone.origin.x < existing.origin.x + existing.footprint.width as i64
+                && existing.origin.x < zone.origin.x + zone.footprint.width as i64;
+            let overlap_y = zone.origin.y < existing.origin.y + existing.footprint.height as i64
+                && existing.origin.y < zone.origin.y + zone.footprint.height as i64;
+            assert!(
+                !(overlap_x && overlap_y),
+                "zone {} overlaps zone {}",
+                zone.name,
+                existing.name
+            );
+        }
+        self.zones.push(zone);
+        self
+    }
+
+    /// Looks up a zone by name.
+    pub fn zone(&self, name: &str) -> Option<&Zone> {
+        self.zones.iter().find(|z| z.name == name)
+    }
+
+    /// All zones.
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// Total atom capacity.
+    pub fn total_capacity(&self) -> f64 {
+        self.zones.iter().map(Zone::capacity).sum()
+    }
+
+    /// Bounding-box footprint of the whole layout.
+    pub fn bounding_box(&self) -> Footprint {
+        if self.zones.is_empty() {
+            return Footprint::new(0, 0);
+        }
+        let min_x = self.zones.iter().map(|z| z.origin.x).min().expect("nonempty");
+        let min_y = self.zones.iter().map(|z| z.origin.y).min().expect("nonempty");
+        let max_x = self
+            .zones
+            .iter()
+            .map(|z| z.origin.x + z.footprint.width as i64)
+            .max()
+            .expect("nonempty");
+        let max_y = self
+            .zones
+            .iter()
+            .map(|z| z.origin.y + z.footprint.height as i64)
+            .max()
+            .expect("nonempty");
+        Footprint::new((max_x - min_x) as u64, (max_y - min_y) as u64)
+    }
+
+    /// Centre-to-centre transit time between two named zones under Eq. (1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either name is unknown.
+    pub fn transit_time(&self, params: &PhysicalParams, from: &str, to: &str) -> f64 {
+        let a = self.zone(from).unwrap_or_else(|| panic!("unknown zone {from}"));
+        let b = self.zone(to).unwrap_or_else(|| panic!("unknown zone {to}"));
+        let (ax, ay) = a.centre();
+        let (bx, by) = b.centre();
+        let dist_sites = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        move_time(params, dist_sites * params.site_spacing)
+    }
+}
+
+/// The paper-style factoring layout at distance `d`: a storage band, a
+/// compute band (registers + adder blocks + GHZ lane) and a factory row
+/// (Fig. 5c,d schematically).
+pub fn factoring_layout(d: u32) -> ZoneLayout {
+    let d64 = u64::from(d);
+    let mut layout = ZoneLayout::new();
+    layout.add(Zone::new(
+        "storage",
+        ZoneKind::Storage,
+        Site::new(0, 0),
+        Footprint::new(80 * d64, 10 * d64),
+        1.0,
+    ));
+    layout.add(Zone::new(
+        "compute",
+        ZoneKind::Compute,
+        Site::new(0, 10 * d64 as i64),
+        Footprint::new(80 * d64, 20 * d64),
+        2.0,
+    ));
+    layout.add(Zone::new(
+        "factories",
+        ZoneKind::Compute,
+        Site::new(0, 30 * d64 as i64),
+        Footprint::new(80 * d64, 8 * d64),
+        2.0,
+    ));
+    layout.add(Zone::new(
+        "readout",
+        ZoneKind::Readout,
+        Site::new(0, 38 * d64 as i64),
+        Footprint::new(80 * d64, 4 * d64),
+        1.0,
+    ));
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_and_lookup() {
+        let layout = factoring_layout(27);
+        assert_eq!(layout.zones().len(), 4);
+        let storage = layout.zone("storage").expect("exists");
+        assert_eq!(storage.kind, ZoneKind::Storage);
+        assert!(storage.capacity() > 0.0);
+        assert!(layout.zone("nope").is_none());
+        assert!(layout.total_capacity() > storage.capacity());
+    }
+
+    #[test]
+    fn zone_containment() {
+        let z = Zone::new(
+            "z",
+            ZoneKind::Compute,
+            Site::new(10, 10),
+            Footprint::new(5, 5),
+            2.0,
+        );
+        assert!(z.contains(Site::new(10, 10)));
+        assert!(z.contains(Site::new(14, 14)));
+        assert!(!z.contains(Site::new(15, 10)));
+        assert!(!z.contains(Site::new(9, 10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_zones_rejected() {
+        let mut layout = ZoneLayout::new();
+        layout.add(Zone::new(
+            "a",
+            ZoneKind::Storage,
+            Site::new(0, 0),
+            Footprint::new(10, 10),
+            1.0,
+        ));
+        layout.add(Zone::new(
+            "b",
+            ZoneKind::Compute,
+            Site::new(5, 5),
+            Footprint::new(10, 10),
+            2.0,
+        ));
+    }
+
+    #[test]
+    fn transit_time_scales_with_distance() {
+        let layout = factoring_layout(27);
+        let p = PhysicalParams::default();
+        let near = layout.transit_time(&p, "storage", "compute");
+        let far = layout.transit_time(&p, "storage", "readout");
+        assert!(far > near, "far {far} vs near {near}");
+        // Transit across a ~30d band at d = 27 is of millisecond order.
+        assert!(far > 0.5e-3 && far < 10e-3, "far = {far}");
+    }
+
+    #[test]
+    fn bounding_box_covers_all() {
+        let layout = factoring_layout(27);
+        let bb = layout.bounding_box();
+        assert_eq!(bb.width, 80 * 27);
+        assert_eq!(bb.height, 42 * 27);
+        assert_eq!(ZoneLayout::new().bounding_box(), Footprint::new(0, 0));
+    }
+}

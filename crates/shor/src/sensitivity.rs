@@ -1,0 +1,233 @@
+//! Sensitivity sweeps (paper §IV.3, Figs. 13 and 14).
+//!
+//! Every sweep re-runs the full estimator with one knob turned: the decoding
+//! factor α (13a), the coherence time (13b), the atom acceleration (14a,b),
+//! the reaction time (14c), a hard qubit cap (14d), and the dense-qLDPC
+//! storage extension (§IV.3.4). Distances are re-optimized against the
+//! default failure budget for every point, exactly as the paper re-optimizes
+//! per configuration.
+
+use crate::architecture::{ResourceEstimate, TransversalArchitecture, DEFAULT_TOTAL_BUDGET};
+use raa_core::SpaceTime;
+
+/// One sweep sample: the knob value and the resulting estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub value: f64,
+    /// The re-optimized estimate at that value.
+    pub estimate: ResourceEstimate,
+}
+
+impl SweepPoint {
+    /// The space–time cost at this point.
+    pub fn space_time(&self) -> SpaceTime {
+        self.estimate.space_time()
+    }
+}
+
+fn reoptimized(arch: TransversalArchitecture) -> ResourceEstimate {
+    arch.with_optimized_distance(DEFAULT_TOTAL_BUDGET).1
+}
+
+/// Fig. 13(a): sweep the decoding factor α.
+pub fn sweep_alpha(base: &TransversalArchitecture, alphas: &[f64]) -> Vec<SweepPoint> {
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let mut arch = *base;
+            arch.error = arch.error.with_alpha(alpha);
+            SweepPoint {
+                value: alpha,
+                estimate: reoptimized(arch),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 13(b): sweep the qubit coherence time (seconds).
+pub fn sweep_coherence(base: &TransversalArchitecture, t_cohs: &[f64]) -> Vec<SweepPoint> {
+    t_cohs
+        .iter()
+        .map(|&t| {
+            let mut arch = *base;
+            arch.physical = arch.physical.with_coherence_time(t);
+            SweepPoint {
+                value: t,
+                estimate: reoptimized(arch),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 14(a,b): sweep the atom acceleration as a multiple of Table I's value.
+/// Returns (scale, estimate, QEC cycle seconds).
+pub fn sweep_acceleration(
+    base: &TransversalArchitecture,
+    scales: &[f64],
+) -> Vec<(SweepPoint, f64)> {
+    scales
+        .iter()
+        .map(|&s| {
+            let mut arch = *base;
+            arch.physical = arch.physical.with_acceleration_scaled(s);
+            let est = reoptimized(arch);
+            let cycle = arch.context().cycle().cycle_time();
+            (
+                SweepPoint {
+                    value: s,
+                    estimate: est,
+                },
+                cycle,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 14(c): sweep the reaction time (seconds). Measurement is shortened
+/// alongside when the requested reaction time is below the Table I readout.
+pub fn sweep_reaction(base: &TransversalArchitecture, reactions: &[f64]) -> Vec<SweepPoint> {
+    reactions
+        .iter()
+        .map(|&tr| {
+            assert!(tr > 0.0, "reaction time must be positive");
+            let mut arch = *base;
+            let measure = arch.physical.measure_time.min(tr / 2.0);
+            let decode = tr - measure;
+            arch.physical = arch.physical.with_readout(measure, decode);
+            SweepPoint {
+                value: tr,
+                estimate: reoptimized(arch),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 14(d): the qubit/run-time trade-off. For each qubit cap, searches the
+/// runway separation and factory count fitting under the cap and reports the
+/// fastest configuration.
+pub fn sweep_qubit_cap(base: &TransversalArchitecture, caps: &[f64]) -> Vec<SweepPoint> {
+    const RSEP_GRID: [u32; 10] = [32, 48, 64, 96, 128, 192, 256, 384, 512, 1024];
+    const FACTORY_GRID: [u32; 9] = [32, 64, 96, 128, 192, 256, 384, 512, 768];
+    caps.iter()
+        .map(|&cap| {
+            let mut best: Option<ResourceEstimate> = None;
+            for &r_sep in &RSEP_GRID {
+                if r_sep > base.instance.n_bits() {
+                    continue;
+                }
+                for &factories in &FACTORY_GRID {
+                    let mut arch = *base;
+                    arch.params.r_sep = r_sep;
+                    arch.params.max_factories = factories;
+                    let est = reoptimized(arch);
+                    if est.qubits <= cap
+                        && best
+                            .as_ref()
+                            .is_none_or(|b| est.expected_seconds() < b.expected_seconds())
+                    {
+                        best = Some(est);
+                    }
+                }
+            }
+            SweepPoint {
+                value: cap,
+                estimate: best.unwrap_or_else(|| reoptimized(*base)),
+            }
+        })
+        .collect()
+}
+
+/// §IV.3.4: dense qLDPC idle storage at the given compression factors.
+pub fn sweep_qldpc_storage(
+    base: &TransversalArchitecture,
+    compressions: &[f64],
+) -> Vec<SweepPoint> {
+    compressions
+        .iter()
+        .map(|&c| {
+            let mut arch = *base;
+            arch.qldpc_storage_compression = if c > 1.0 { Some(c) } else { None };
+            SweepPoint {
+                value: c,
+                estimate: reoptimized(arch),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> TransversalArchitecture {
+        TransversalArchitecture::paper()
+    }
+
+    #[test]
+    fn alpha_sensitivity_is_mild() {
+        // Fig. 13(a): threshold dropping 0.86% → 0.6% (α 1/6 → ~2/3 at x=1)
+        // costs no more than ~50% extra volume.
+        let pts = sweep_alpha(&base(), &[1.0 / 6.0, 2.0 / 3.0]);
+        let v0 = pts[0].space_time().volume();
+        let v1 = pts[1].space_time().volume();
+        let increase = v1 / v0 - 1.0;
+        assert!(
+            (0.0..0.6).contains(&increase),
+            "volume increase = {increase}"
+        );
+    }
+
+    #[test]
+    fn coherence_knee_below_one_second() {
+        // Fig. 13(b): volume rises slowly until T_coh < 1 s, then accelerates.
+        let pts = sweep_coherence(&base(), &[100.0, 10.0, 1.0, 0.2]);
+        let v = |i: usize| pts[i].space_time().volume();
+        assert!(v(1) / v(0) < 1.5, "10 s vs 100 s: {}", v(1) / v(0));
+        assert!(
+            v(3) / v(1) > v(1) / v(0),
+            "degradation must accelerate at short coherence"
+        );
+    }
+
+    #[test]
+    fn faster_acceleration_helps() {
+        let pts = sweep_acceleration(&base(), &[0.3, 1.0, 3.0]);
+        // QEC cycle shrinks monotonically with acceleration.
+        assert!(pts[0].1 > pts[1].1);
+        assert!(pts[1].1 > pts[2].1);
+        // And volume improves.
+        assert!(pts[2].0.space_time().volume() <= pts[0].0.space_time().volume());
+    }
+
+    #[test]
+    fn reaction_time_floor_from_fanout() {
+        // Fig. 14(c): gains flatten once the CNOT fan-out dominates.
+        let pts = sweep_reaction(&base(), &[4e-3, 1e-3, 0.25e-3]);
+        let t = |i: usize| pts[i].estimate.expected_seconds();
+        assert!(t(1) < t(0), "shorter reaction must help initially");
+        let big_gain = t(0) / t(1);
+        let small_gain = t(1) / t(2);
+        assert!(
+            small_gain < big_gain,
+            "gains must flatten: {big_gain} then {small_gain}"
+        );
+    }
+
+    #[test]
+    fn qubit_cap_tradeoff() {
+        // Fig. 14(d): tighter caps mean longer runtimes; generous caps
+        // approach the reaction-limited floor.
+        let pts = sweep_qubit_cap(&base(), &[14e6, 19e6, 40e6]);
+        let t = |i: usize| pts[i].estimate.expected_seconds();
+        assert!(pts[0].estimate.qubits <= 14e6 * 1.001);
+        assert!(t(0) >= t(1));
+        assert!(t(1) >= t(2));
+    }
+
+    #[test]
+    fn qldpc_estimate_saves_space() {
+        let pts = sweep_qldpc_storage(&base(), &[1.0, 10.0]);
+        assert!(pts[1].estimate.qubits < pts[0].estimate.qubits);
+    }
+}

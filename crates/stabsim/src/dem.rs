@@ -1,0 +1,687 @@
+//! Detector error model (DEM) extraction.
+//!
+//! A DEM lists the circuit's elementary error mechanisms, each with its
+//! probability, the set of detectors it flips and the logical observables it
+//! flips. It is the decoder's view of the circuit: correlated decoding of
+//! transversal-gate circuits (§II.4 of the paper) falls out of extracting one
+//! joint DEM for the whole multi-patch circuit.
+//!
+//! Extraction walks the circuit *backwards*, maintaining for every qubit the
+//! set of detectors/observables sensitive to an X (or Z) flip at that point in
+//! time. Each noise channel then reads off its flipped-detector sets directly,
+//! so the total cost is linear in circuit size times the (small) sensitivity
+//! set size, independent of how far errors propagate.
+
+use crate::circuit::{Circuit, OpKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One elementary error mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemError {
+    /// Probability that this mechanism fires, independently of all others.
+    pub probability: f64,
+    /// Sorted detector indices flipped.
+    pub detectors: Vec<u32>,
+    /// Bit mask of observables flipped (observable `i` ↔ bit `i`).
+    pub observables: u64,
+}
+
+impl DemError {
+    /// Whether this error is graphlike (flips at most two detectors).
+    pub fn is_graphlike(&self) -> bool {
+        self.detectors.len() <= 2
+    }
+}
+
+/// A detector error model: independent error mechanisms over detectors.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorErrorModel {
+    /// Number of detectors in the underlying circuit.
+    pub num_detectors: usize,
+    /// Number of observables in the underlying circuit.
+    pub num_observables: usize,
+    /// The error mechanisms.
+    pub errors: Vec<DemError>,
+}
+
+impl DetectorErrorModel {
+    /// Extracts the DEM of `circuit`.
+    ///
+    /// Mechanisms with identical (detectors, observables) signatures are
+    /// merged with XOR-combined probabilities `p = p₁(1−p₂) + p₂(1−p₁)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than 64 observables.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        assert!(
+            circuit.num_observables() <= 64,
+            "at most 64 observables supported, got {}",
+            circuit.num_observables()
+        );
+        let extractor = Extractor::new(circuit);
+        extractor.run()
+    }
+
+    /// Rewrites the model so every error is graphlike (≤ 2 detectors), by
+    /// greedily decomposing hyperedges into existing graphlike components.
+    ///
+    /// This mirrors Stim's `decompose_errors`: a mechanism flipping detectors
+    /// {a, b, c, d} is replaced by components such as {a, b} and {c, d} when
+    /// those appear as mechanisms of their own; any remainder is paired up
+    /// arbitrarily. Observable masks are carried by matching components where
+    /// possible, with any residual assigned to the final component.
+    ///
+    /// Returns the graphlike model and the number of hyperedges that required
+    /// arbitrary (non-matching) pairing.
+    pub fn decompose_graphlike(&self) -> (DetectorErrorModel, usize) {
+        // Index existing graphlike signatures.
+        let mut known: HashMap<Vec<u32>, u64> = HashMap::new();
+        for e in self.errors.iter().filter(|e| e.is_graphlike()) {
+            known.entry(e.detectors.clone()).or_insert(e.observables);
+        }
+        let mut merged: HashMap<(Vec<u32>, u64), f64> = HashMap::new();
+        let mut arbitrary = 0usize;
+        for e in &self.errors {
+            if e.is_graphlike() {
+                merge_into(&mut merged, e.detectors.clone(), e.observables, e.probability);
+                continue;
+            }
+            let (components, clean) = decompose(&e.detectors, e.observables, &known);
+            if !clean {
+                arbitrary += 1;
+            }
+            for (dets, obs) in components {
+                merge_into(&mut merged, dets, obs, e.probability);
+            }
+        }
+        let mut errors: Vec<DemError> = merged
+            .into_iter()
+            .map(|((detectors, observables), probability)| DemError {
+                probability,
+                detectors,
+                observables,
+            })
+            .collect();
+        errors.sort_by(|a, b| {
+            a.detectors
+                .cmp(&b.detectors)
+                .then(a.observables.cmp(&b.observables))
+        });
+        (
+            DetectorErrorModel {
+                num_detectors: self.num_detectors,
+                num_observables: self.num_observables,
+                errors,
+            },
+            arbitrary,
+        )
+    }
+
+    /// Total number of error mechanisms.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Whether the model has no mechanisms.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Iterates over the mechanisms.
+    pub fn iter(&self) -> std::slice::Iter<'_, DemError> {
+        self.errors.iter()
+    }
+}
+
+impl fmt::Display for DetectorErrorModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# dem: {} detectors, {} observables, {} errors",
+            self.num_detectors,
+            self.num_observables,
+            self.errors.len()
+        )?;
+        for e in &self.errors {
+            write!(f, "error({:.6})", e.probability)?;
+            for d in &e.detectors {
+                write!(f, " D{d}")?;
+            }
+            for o in 0..64 {
+                if e.observables >> o & 1 == 1 {
+                    write!(f, " L{o}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn merge_into(map: &mut HashMap<(Vec<u32>, u64), f64>, dets: Vec<u32>, obs: u64, p: f64) {
+    if dets.is_empty() && obs == 0 {
+        return; // invisible and harmless
+    }
+    let slot = map.entry((dets, obs)).or_insert(0.0);
+    *slot = *slot * (1.0 - p) + p * (1.0 - *slot);
+}
+
+/// Greedy hyperedge decomposition into known graphlike pieces.
+fn decompose(
+    dets: &[u32],
+    obs: u64,
+    known: &HashMap<Vec<u32>, u64>,
+) -> (Vec<(Vec<u32>, u64)>, bool) {
+    let mut remaining: Vec<u32> = dets.to_vec();
+    let mut components: Vec<(Vec<u32>, u64)> = Vec::new();
+    let mut residual_obs = obs;
+    let mut clean = true;
+    // Pass 1: known pairs within the remaining set.
+    'outer: loop {
+        for i in 0..remaining.len() {
+            for j in (i + 1)..remaining.len() {
+                let key = vec![remaining[i], remaining[j]];
+                if let Some(&o) = known.get(&key) {
+                    residual_obs ^= o;
+                    components.push((key, o));
+                    remaining.remove(j);
+                    remaining.remove(i);
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    // Pass 2: known singletons (boundary edges).
+    remaining.retain(|&d| {
+        if let Some(&o) = known.get(&vec![d]) {
+            residual_obs ^= o;
+            components.push((vec![d], o));
+            false
+        } else {
+            true
+        }
+    });
+    // Pass 3: anything left gets paired arbitrarily (and flagged).
+    if !remaining.is_empty() {
+        clean = false;
+        let mut it = remaining.chunks(2);
+        for chunk in &mut it {
+            components.push((chunk.to_vec(), 0));
+        }
+    }
+    // Residual observable flips ride on the last component.
+    if residual_obs != 0 {
+        if let Some(last) = components.last_mut() {
+            last.1 ^= residual_obs;
+        } else {
+            components.push((Vec::new(), residual_obs));
+        }
+    }
+    (components, clean)
+}
+
+/// Sorted-set XOR used for sensitivity sets (sets stay small, so Vec beats HashSet).
+fn xor_into(set: &mut Vec<u32>, other: &[u32]) {
+    if other.is_empty() {
+        return;
+    }
+    let mut out = Vec::with_capacity(set.len() + other.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < set.len() && j < other.len() {
+        match set[i].cmp(&other[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(set[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(other[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&set[i..]);
+    out.extend_from_slice(&other[j..]);
+    *set = out;
+}
+
+struct Extractor<'c> {
+    circuit: &'c Circuit,
+    /// Combined id space: detector d ↦ d; observable o ↦ num_detectors + o.
+    meas_sensitivity: Vec<Vec<u32>>,
+    num_detectors: u32,
+}
+
+impl<'c> Extractor<'c> {
+    fn new(circuit: &'c Circuit) -> Self {
+        let num_detectors = circuit.num_detectors() as u32;
+        let mut meas_sensitivity = vec![Vec::new(); circuit.num_measurements()];
+        for (d, meas_list) in circuit.detectors().iter().enumerate() {
+            for &m in meas_list {
+                xor_into(&mut meas_sensitivity[m], &[d as u32]);
+            }
+        }
+        for (o, meas_list) in circuit.observables().iter().enumerate() {
+            for &m in meas_list {
+                xor_into(&mut meas_sensitivity[m], &[num_detectors + o as u32]);
+            }
+        }
+        Self {
+            circuit,
+            meas_sensitivity,
+            num_detectors,
+        }
+    }
+
+    fn run(self) -> DetectorErrorModel {
+        let n = self.circuit.num_qubits() as usize;
+        // dx[q]: ids flipped by an X error on q at the current (backward) time.
+        let mut dx: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut dz: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut meas_idx = self.circuit.num_measurements();
+        let mut merged: HashMap<(Vec<u32>, u64), f64> = HashMap::new();
+
+        for op in self.circuit.ops().iter().rev() {
+            use OpKind::*;
+            match op.kind {
+                Tick | X | Y | Z => {}
+                H => {
+                    for &q in &op.targets {
+                        let q = q as usize;
+                        std::mem::swap(&mut dx[q], &mut dz[q]);
+                    }
+                }
+                S | SDag => {
+                    // Backward: X before S ≡ Y after S, so DX ^= DZ.
+                    for &q in &op.targets {
+                        let q = q as usize;
+                        let zsens = dz[q].clone();
+                        xor_into(&mut dx[q], &zsens);
+                    }
+                }
+                SqrtX | SqrtXDag => {
+                    for &q in &op.targets {
+                        let q = q as usize;
+                        let xsens = dx[q].clone();
+                        xor_into(&mut dz[q], &xsens);
+                    }
+                }
+                CX => {
+                    for pair in op.targets.chunks_exact(2) {
+                        let (c, t) = (pair[0] as usize, pair[1] as usize);
+                        // X_c (before) ≡ X_c X_t (after); Z_t ≡ Z_c Z_t.
+                        let xt = dx[t].clone();
+                        xor_into(&mut dx[c], &xt);
+                        let zc = dz[c].clone();
+                        xor_into(&mut dz[t], &zc);
+                    }
+                }
+                CZ => {
+                    for pair in op.targets.chunks_exact(2) {
+                        let (a, b) = (pair[0] as usize, pair[1] as usize);
+                        // X_a ≡ X_a Z_b; X_b ≡ X_b Z_a.
+                        let zb = dz[b].clone();
+                        xor_into(&mut dx[a], &zb);
+                        let za = dz[a].clone();
+                        xor_into(&mut dx[b], &za);
+                    }
+                }
+                Swap => {
+                    for pair in op.targets.chunks_exact(2) {
+                        let (a, b) = (pair[0] as usize, pair[1] as usize);
+                        dx.swap(a, b);
+                        dz.swap(a, b);
+                    }
+                }
+                M => {
+                    for &q in op.targets.iter().rev() {
+                        meas_idx -= 1;
+                        let q = q as usize;
+                        let sens = self.meas_sensitivity[meas_idx].clone();
+                        xor_into(&mut dx[q], &sens);
+                    }
+                }
+                MX => {
+                    for &q in op.targets.iter().rev() {
+                        meas_idx -= 1;
+                        let q = q as usize;
+                        let sens = self.meas_sensitivity[meas_idx].clone();
+                        xor_into(&mut dz[q], &sens);
+                    }
+                }
+                MR => {
+                    for &q in op.targets.iter().rev() {
+                        meas_idx -= 1;
+                        let q = q as usize;
+                        // Errors before MR affect only this measurement: the
+                        // reset cuts them off from everything later.
+                        dx[q] = self.meas_sensitivity[meas_idx].clone();
+                        dz[q].clear();
+                    }
+                }
+                R | RX => {
+                    for &q in &op.targets {
+                        let q = q as usize;
+                        dx[q].clear();
+                        dz[q].clear();
+                    }
+                }
+                XError | ZError | YError => {
+                    let p = op.arg;
+                    for &q in &op.targets {
+                        let q = q as usize;
+                        let mut sens = Vec::new();
+                        if op.kind != ZError {
+                            xor_into(&mut sens, &dx[q]);
+                        }
+                        if op.kind != XError {
+                            xor_into(&mut sens, &dz[q]);
+                        }
+                        self.emit(&mut merged, sens, p);
+                    }
+                }
+                Depolarize1 => {
+                    let p3 = op.arg / 3.0;
+                    for &q in &op.targets {
+                        let q = q as usize;
+                        for code in 1u8..4 {
+                            let sens = self.single_sens(&dx, &dz, q, code);
+                            self.emit(&mut merged, sens, p3);
+                        }
+                    }
+                }
+                Depolarize2 => {
+                    let p15 = op.arg / 15.0;
+                    for pair in op.targets.chunks_exact(2) {
+                        let (a, b) = (pair[0] as usize, pair[1] as usize);
+                        for code in 1u8..16 {
+                            let mut sens = self.single_sens(&dx, &dz, a, code & 3);
+                            let other = self.single_sens(&dx, &dz, b, code >> 2);
+                            xor_into(&mut sens, &other);
+                            self.emit(&mut merged, sens, p15);
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(meas_idx, 0, "measurement bookkeeping out of sync");
+
+        let mut errors: Vec<DemError> = merged
+            .into_iter()
+            .map(|((detectors, observables), probability)| DemError {
+                probability,
+                detectors,
+                observables,
+            })
+            .collect();
+        errors.sort_by(|a, b| {
+            a.detectors
+                .cmp(&b.detectors)
+                .then(a.observables.cmp(&b.observables))
+        });
+        DetectorErrorModel {
+            num_detectors: self.num_detectors as usize,
+            num_observables: self.circuit.num_observables(),
+            errors,
+        }
+    }
+
+    /// Sensitivity of Pauli `code` (bit0 = x component, bit1 = z component) on `q`.
+    fn single_sens(&self, dx: &[Vec<u32>], dz: &[Vec<u32>], q: usize, code: u8) -> Vec<u32> {
+        let mut sens = Vec::new();
+        if code & 1 != 0 {
+            xor_into(&mut sens, &dx[q]);
+        }
+        if code & 2 != 0 {
+            xor_into(&mut sens, &dz[q]);
+        }
+        sens
+    }
+
+    fn emit(&self, merged: &mut HashMap<(Vec<u32>, u64), f64>, sens: Vec<u32>, p: f64) {
+        // Split combined ids back into detectors and observables.
+        let mut dets = Vec::with_capacity(sens.len());
+        let mut obs = 0u64;
+        for id in sens {
+            if id < self.num_detectors {
+                dets.push(id);
+            } else {
+                obs |= 1u64 << (id - self.num_detectors);
+            }
+        }
+        merge_into(merged, dets, obs, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Circuit, MeasRecord};
+
+    /// Three-qubit bit-flip repetition code, two rounds.
+    fn repetition_circuit(p: f64) -> Circuit {
+        let mut c = Circuit::new();
+        // data: 0, 2, 4; ancilla: 1, 3
+        c.r(&[0, 1, 2, 3, 4]);
+        for round in 0..2 {
+            c.x_error(&[0, 2, 4], p);
+            c.cx(&[(0, 1), (2, 1), (2, 3), (4, 3)]);
+            c.mr(&[1, 3]);
+            if round == 0 {
+                c.detector(&[MeasRecord::back(2)]);
+                c.detector(&[MeasRecord::back(1)]);
+            } else {
+                c.detector(&[MeasRecord::back(2), MeasRecord::back(4)]);
+                c.detector(&[MeasRecord::back(1), MeasRecord::back(3)]);
+            }
+        }
+        c.m(&[0, 2, 4]);
+        c.detector(&[MeasRecord::back(3), MeasRecord::back(2), MeasRecord::back(5)]);
+        c.detector(&[MeasRecord::back(2), MeasRecord::back(1), MeasRecord::back(4)]);
+        c.observable_include(0, &[MeasRecord::back(3)]);
+        c
+    }
+
+    #[test]
+    fn repetition_code_dem_structure() {
+        let dem = DetectorErrorModel::from_circuit(&repetition_circuit(1e-3));
+        assert_eq!(dem.num_detectors, 6);
+        assert_eq!(dem.num_observables, 1);
+        assert!(!dem.is_empty());
+        // Every mechanism flips at most 2 detectors (repetition code is graphlike).
+        for e in dem.iter() {
+            assert!(e.detectors.len() <= 2, "non-graphlike: {e:?}");
+        }
+        // A round-0 X error on data qubit 0 flips ancilla 1 in both rounds
+        // (cancelling in the comparison detector D2) and the final data
+        // measurement, leaving exactly {D0} plus the observable. The round-1
+        // error leaves {D2} plus the observable. Interior data qubit 2 gives
+        // the two-ancilla edge {D0, D1}.
+        for expect in [
+            (vec![0u32], 1u64),
+            (vec![2], 1),
+            (vec![0, 1], 0),
+            (vec![2, 3], 0),
+            (vec![1], 0),
+            (vec![3], 0),
+        ] {
+            assert!(
+                dem.iter()
+                    .any(|e| e.detectors == expect.0 && e.observables == expect.1),
+                "missing edge {expect:?}; dem =\n{dem}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_merge_xor_style() {
+        // Two independent p=0.5 X errors on the same qubit before the same
+        // measurement: combined flip probability is 0.5.
+        let mut c = Circuit::new();
+        c.r(&[0]);
+        c.x_error(&[0], 0.5);
+        c.x_error(&[0], 0.5);
+        c.m(&[0]);
+        c.detector(&[MeasRecord::back(1)]);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.len(), 1);
+        assert!((dem.errors[0].probability - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_error_before_z_measurement_is_invisible() {
+        let mut c = Circuit::new();
+        c.r(&[0]);
+        c.z_error(&[0], 0.1);
+        c.m(&[0]);
+        c.detector(&[MeasRecord::back(1)]);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert!(dem.is_empty(), "dem = {dem}");
+    }
+
+    #[test]
+    fn error_through_cx_propagates() {
+        // X on q0, then CX(0,1), measuring both: flips both measurements.
+        let mut c = Circuit::new();
+        c.r(&[0, 1]);
+        c.x_error(&[0], 0.01);
+        c.cx(&[(0, 1)]);
+        c.m(&[0, 1]);
+        c.detector(&[MeasRecord::back(2)]);
+        c.detector(&[MeasRecord::back(1)]);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.len(), 1);
+        assert_eq!(dem.errors[0].detectors, vec![0, 1]);
+    }
+
+    #[test]
+    fn hadamard_turns_z_sensitivity_into_x() {
+        let mut c = Circuit::new();
+        c.r(&[0]);
+        c.z_error(&[0], 0.01);
+        c.h(&[0]);
+        c.m(&[0]);
+        c.detector(&[MeasRecord::back(1)]);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.len(), 1);
+        assert_eq!(dem.errors[0].detectors, vec![0]);
+    }
+
+    #[test]
+    fn observable_only_error_is_kept() {
+        // An undetected error that flips the observable must not be dropped.
+        let mut c = Circuit::new();
+        c.r(&[0]);
+        c.x_error(&[0], 0.02);
+        c.m(&[0]);
+        c.observable_include(0, &[MeasRecord::back(1)]);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.len(), 1);
+        assert!(dem.errors[0].detectors.is_empty());
+        assert_eq!(dem.errors[0].observables, 1);
+    }
+
+    #[test]
+    fn depolarize1_distinct_components() {
+        // On |0> measured in Z: X and Y each flip; Z is invisible. The X and Y
+        // components share the same detector signature so they merge.
+        let mut c = Circuit::new();
+        c.r(&[0]);
+        c.depolarize1(&[0], 0.3);
+        c.m(&[0]);
+        c.detector(&[MeasRecord::back(1)]);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.len(), 1);
+        let p = 0.1;
+        let expect = p * (1.0 - p) + p * (1.0 - p * (1.0 - p)) - p * p * (1.0 - p);
+        // combined via xor-merge of two p/3 components:
+        let combined = p + p * (1.0 - 2.0 * p);
+        assert!(
+            (dem.errors[0].probability - combined).abs() < 1e-9
+                || (dem.errors[0].probability - expect).abs() < 1e-9,
+            "p = {}",
+            dem.errors[0].probability
+        );
+    }
+
+    #[test]
+    fn mr_cuts_propagation() {
+        // An error before MR flips that measurement only, not later ones.
+        let mut c = Circuit::new();
+        c.r(&[0]);
+        c.x_error(&[0], 0.01);
+        c.mr(&[0]);
+        c.m(&[0]);
+        c.detector(&[MeasRecord::back(2)]);
+        c.detector(&[MeasRecord::back(1)]);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.len(), 1);
+        assert_eq!(dem.errors[0].detectors, vec![0]);
+    }
+
+    #[test]
+    fn decomposition_splits_hyperedge() {
+        // Build a DEM with edges {0},{1},{0,1,2,3} where {2,3} is known.
+        let dem = DetectorErrorModel {
+            num_detectors: 4,
+            num_observables: 1,
+            errors: vec![
+                DemError {
+                    probability: 0.01,
+                    detectors: vec![0],
+                    observables: 1,
+                },
+                DemError {
+                    probability: 0.01,
+                    detectors: vec![2, 3],
+                    observables: 0,
+                },
+                DemError {
+                    probability: 0.001,
+                    detectors: vec![0, 1, 2, 3],
+                    observables: 1,
+                },
+            ],
+        };
+        let (graphlike, arbitrary) = dem.decompose_graphlike();
+        assert!(graphlike.errors.iter().all(|e| e.is_graphlike()));
+        // {0,1,2,3} should decompose into {2,3} (known) and {0,1} (arbitrary pair
+        // since {0,1} is not known but both remain) — flagged arbitrary... but
+        // actually {0} is known as a singleton, so the greedy finds {2,3} then {0},
+        // leaving {1} paired alone.
+        assert_eq!(arbitrary, 1);
+        let total: f64 = graphlike.errors.iter().map(|e| e.probability).sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn dem_matches_frame_sim_statistics() {
+        // The DEM's single-detector marginal should match sampled frequency.
+        use crate::frame::FrameSim;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let c = repetition_circuit(0.05);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        // P(detector 0 fires) ≈ sum of p over mechanisms containing 0 (small p).
+        let mut predicted = 0.0;
+        for e in dem.iter() {
+            if e.detectors.contains(&0) {
+                predicted = predicted * (1.0 - e.probability) + e.probability * (1.0 - predicted);
+            }
+        }
+        let shots = 200_000;
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = FrameSim::sample(&c, shots, &mut rng);
+        let rate = (0..shots).filter(|&i| s.detector(i, 0)).count() as f64 / shots as f64;
+        assert!(
+            (rate - predicted).abs() < 0.01,
+            "sampled {rate} vs predicted {predicted}"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Stabilizer circuit simulation substrate for the transversal-architecture
+//! reproduction of Zhou et al. (ISCA 2025).
+//!
+//! The paper's logical-error model (its Eq. 4) is calibrated against
+//! circuit-level simulations of transversal logical circuits. This crate
+//! provides everything needed to run such simulations from scratch:
+//!
+//! * [`circuit`] — a stabilizer circuit IR with Clifford gates, resets,
+//!   measurements, circuit-level depolarizing noise channels and
+//!   detector/observable annotations;
+//! * [`tableau`] — an exact Aaronson–Gottesman tableau simulator used as the
+//!   noiseless reference and for cross-validation;
+//! * [`frame`] — a bit-packed Pauli-frame Monte-Carlo sampler (64 shots per
+//!   machine word, geometric skip sampling for noise);
+//! * [`dem`] — detector-error-model extraction by reverse sensitivity
+//!   propagation, with greedy decomposition into graphlike errors for
+//!   matching-style decoders;
+//! * [`pauli`] — sparse Pauli strings for code analysis.
+//!
+//! # Example: noisy Bell-pair parity
+//!
+//! ```
+//! use raa_stabsim::{Circuit, MeasRecord, FrameSim, DetectorErrorModel};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut c = Circuit::new();
+//! c.r(&[0, 1]);
+//! c.h(&[0]);
+//! c.cx(&[(0, 1)]);
+//! c.depolarize2(&[(0, 1)], 1e-2);
+//! c.m(&[0, 1]);
+//! // The ZZ parity of a Bell pair is deterministic: a valid detector.
+//! c.detector(&[MeasRecord::back(1), MeasRecord::back(2)]);
+//!
+//! let dem = DetectorErrorModel::from_circuit(&c);
+//! assert_eq!(dem.num_detectors, 1);
+//!
+//! let mut rng = StdRng::seed_from_u64(5);
+//! let samples = FrameSim::sample(&c, 4096, &mut rng);
+//! assert_eq!(samples.num_detectors(), 1);
+//! ```
+
+pub mod circuit;
+pub mod dem;
+pub mod frame;
+pub mod pauli;
+pub mod tableau;
+pub mod text;
+
+pub use circuit::{Circuit, MeasRecord, OpKind, Operation};
+pub use dem::{DemError, DetectorErrorModel};
+pub use frame::{DetectorSamples, FrameSim};
+pub use pauli::{Pauli, PauliString};
+pub use tableau::{MeasureResult, TableauSim};
+pub use text::{parse, to_text, ParseError};

@@ -1,0 +1,481 @@
+//! Ready-made experiments: surface-code memory and transversal-CNOT circuits,
+//! with end-to-end Monte-Carlo decoding.
+//!
+//! These regenerate the simulation inputs behind the paper's logical-error
+//! model (Fig. 6a): deep CNOT-only transversal circuits between surface-code
+//! patches with `x` CNOTs per syndrome-extraction round, decoded jointly
+//! (correlated decoding) from the circuit's detector error model.
+
+use crate::builder::{Basis, NoiseModel, PatchCircuitBuilder};
+use raa_decode::mc::{self, DecodeStats};
+use raa_decode::{DecodingGraph, MatchingDecoder, UnionFindDecoder};
+use raa_stabsim::{Circuit, DetectorErrorModel};
+use rand::{Rng, RngExt};
+
+/// Which decoder to use for an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecoderKind {
+    /// Weighted union–find (fast, slightly less accurate → larger α).
+    #[default]
+    UnionFind,
+    /// Exact small-instance matching (MLE-like reference, slow).
+    Matching,
+}
+
+/// A memory experiment: one patch idling for a number of SE rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryExperiment {
+    /// Code distance.
+    pub distance: u32,
+    /// Number of syndrome-extraction rounds (≥ 1).
+    pub rounds: usize,
+    /// Logical basis protected.
+    pub basis: Basis,
+    /// Noise strengths.
+    pub noise: NoiseModel,
+}
+
+impl MemoryExperiment {
+    /// Builds the noisy circuit with detectors and one logical observable.
+    pub fn build(&self) -> Circuit {
+        assert!(self.rounds >= 1, "need at least one SE round");
+        let mut b = PatchCircuitBuilder::new(self.distance, 1, self.basis, self.noise);
+        b.initialize();
+        for _ in 0..self.rounds {
+            b.se_round();
+        }
+        b.finish()
+    }
+}
+
+/// A two-patch (or ring) transversal-CNOT experiment: a deep logical Clifford
+/// circuit of CNOTs with `cnots_per_round` transversal gates per SE round
+/// (the paper's `x`), random gate directions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransversalCnotExperiment {
+    /// Code distance.
+    pub distance: u32,
+    /// Number of patches (≥ 2); gates act between random distinct pairs.
+    pub patches: usize,
+    /// Total number of transversal logical CNOTs (the circuit depth).
+    pub depth: usize,
+    /// CNOTs per SE round, the paper's `x` (e.g. 1.0, 2.0, 0.5).
+    pub cnots_per_round: f64,
+    /// Logical basis protected.
+    pub basis: Basis,
+    /// Noise strengths.
+    pub noise: NoiseModel,
+}
+
+impl TransversalCnotExperiment {
+    /// Builds the noisy circuit, drawing random CNOT directions from `rng`.
+    ///
+    /// The schedule starts with one SE round after initialization, then after
+    /// every gate accumulates `1/x` SE rounds, emitting rounds whenever the
+    /// accumulator reaches one (so `x = 2` gives a round every two gates,
+    /// `x = 0.5` two rounds per gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patches < 2`, `depth == 0` or `cnots_per_round ≤ 0`.
+    pub fn build<R: Rng>(&self, rng: &mut R) -> Circuit {
+        assert!(self.patches >= 2, "need at least two patches");
+        assert!(self.depth >= 1, "need at least one CNOT");
+        assert!(
+            self.cnots_per_round > 0.0 && self.cnots_per_round.is_finite(),
+            "cnots_per_round must be positive"
+        );
+        let mut b = PatchCircuitBuilder::new(self.distance, self.patches, self.basis, self.noise);
+        b.initialize();
+        b.se_round();
+        let per_gate = 1.0 / self.cnots_per_round;
+        let mut debt = 0.0f64;
+        for _ in 0..self.depth {
+            let a = rng.random_range(0..self.patches);
+            let mut t = rng.random_range(0..self.patches - 1);
+            if t >= a {
+                t += 1;
+            }
+            b.transversal_cx(a, t);
+            debt += per_gate;
+            while debt >= 1.0 {
+                b.se_round();
+                debt -= 1.0;
+            }
+        }
+        if debt > 0.0 {
+            b.se_round();
+        }
+        b.finish()
+    }
+
+    /// Total SE rounds the schedule will emit (including the initial round).
+    pub fn expected_se_rounds(&self) -> usize {
+        1 + (self.depth as f64 / self.cnots_per_round).ceil() as usize
+    }
+}
+
+/// Measurement-based logical GHZ preparation and verification
+/// (the CNOT fan-out primitive of paper §III.8, Fig. 10b, at the logical
+/// level): `targets` patches are prepared in |+⟩, helper patches between
+/// neighbours measure the pairwise ZZ stabilizers via two transversal CNOTs
+/// and a destructive logical Z readout, then the GHZ qubits are read out in
+/// Z. Every neighbouring pair parity (corrected by its helper outcome) is a
+/// logical observable; flips that survive decoding are GHZ preparation
+/// errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GhzFanoutExperiment {
+    /// Code distance.
+    pub distance: u32,
+    /// Number of GHZ branches (≥ 2).
+    pub targets: usize,
+    /// Noise strengths.
+    pub noise: NoiseModel,
+}
+
+impl GhzFanoutExperiment {
+    /// Builds the noisy circuit: helpers interleave with targets, so patch
+    /// `2i` is GHZ qubit `i` and patch `2i+1` its helper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets < 2`.
+    pub fn build(&self) -> Circuit {
+        assert!(self.targets >= 2, "need at least two GHZ branches");
+        let num_patches = 2 * self.targets - 1;
+        let mut b = PatchCircuitBuilder::new(self.distance, num_patches, Basis::Z, self.noise);
+        b.initialize();
+        // GHZ qubits start in |+⟩; helpers stay in |0⟩.
+        for i in 0..self.targets {
+            b.reprepare_patch(2 * i, Basis::X);
+        }
+        b.se_round();
+        // Helper i measures Z_i Z_{i+1}.
+        for i in 0..self.targets - 1 {
+            b.transversal_cx(2 * i, 2 * i + 1);
+            b.transversal_cx(2 * i + 2, 2 * i + 1);
+        }
+        b.se_round();
+        let helper_rows: Vec<Vec<usize>> = (0..self.targets - 1)
+            .map(|i| b.measure_patch(2 * i + 1, Basis::Z))
+            .collect();
+        b.se_round();
+        // Record the target logical-row measurement indices, then finish.
+        let mut target_rows: Vec<Vec<usize>> = Vec::new();
+        for i in 0..self.targets {
+            let rows = b.measure_patch(2 * i, Basis::Z);
+            target_rows.push(rows);
+        }
+        let mut b = b;
+        for i in 0..self.targets - 1 {
+            let mut meas = target_rows[i].clone();
+            meas.extend_from_slice(&target_rows[i + 1]);
+            meas.extend_from_slice(&helper_rows[i]);
+            b.custom_observable(i, &meas);
+        }
+        b.finish()
+    }
+}
+
+/// Runs the GHZ fan-out experiment end to end; a failure is any pair parity
+/// the joint decoder fails to predict.
+pub fn run_ghz<R: Rng>(
+    exp: &GhzFanoutExperiment,
+    decoder: DecoderKind,
+    shots: usize,
+    rng: &mut R,
+) -> ExperimentResult {
+    let circuit = exp.build();
+    let stats = decode_circuit(&circuit, decoder, shots, rng);
+    ExperimentResult {
+        distance: exp.distance,
+        cnots: 2 * (exp.targets - 1),
+        se_rounds: 3,
+        patches: 2 * exp.targets - 1,
+        stats,
+    }
+}
+
+/// Result of a decoded experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentResult {
+    /// Code distance.
+    pub distance: u32,
+    /// Number of transversal CNOTs in the circuit (0 for memory).
+    pub cnots: usize,
+    /// Number of SE rounds executed.
+    pub se_rounds: usize,
+    /// Number of logical qubits (patches).
+    pub patches: usize,
+    /// Decoding statistics.
+    pub stats: DecodeStats,
+}
+
+impl ExperimentResult {
+    /// Total logical error probability per shot.
+    pub fn logical_error_rate(&self) -> f64 {
+        self.stats.logical_error_rate()
+    }
+
+    /// Logical error rate per logical qubit per SE round, assuming
+    /// independent additive errors: `p_shot ≈ 1 - (1-p_unit)^(q·r)`.
+    pub fn error_per_qubit_round(&self) -> f64 {
+        let units = (self.patches * self.se_rounds) as f64;
+        per_unit_rate(self.stats.logical_error_rate(), units)
+    }
+
+    /// Logical error rate per CNOT (both qubits), when `cnots > 0`.
+    pub fn error_per_cnot(&self) -> f64 {
+        assert!(self.cnots > 0, "no CNOTs in this experiment");
+        per_unit_rate(self.stats.logical_error_rate(), self.cnots as f64)
+    }
+}
+
+/// Inverts `p_total = 1 - (1 - p_unit)^units`.
+fn per_unit_rate(p_total: f64, units: f64) -> f64 {
+    if p_total <= 0.0 {
+        return 0.0;
+    }
+    if p_total >= 1.0 {
+        return 1.0;
+    }
+    1.0 - (1.0 - p_total).powf(1.0 / units)
+}
+
+fn decode_circuit<R: Rng>(
+    circuit: &Circuit,
+    decoder: DecoderKind,
+    shots: usize,
+    rng: &mut R,
+) -> DecodeStats {
+    let dem = DetectorErrorModel::from_circuit(circuit);
+    let (graph, _arbitrary) = DecodingGraph::from_dem_decomposed(&dem);
+    match decoder {
+        DecoderKind::UnionFind => {
+            let d = UnionFindDecoder::new(graph);
+            mc::logical_error_rate(circuit, &d, shots, rng)
+        }
+        DecoderKind::Matching => {
+            let d = MatchingDecoder::new(graph);
+            mc::logical_error_rate(circuit, &d, shots, rng)
+        }
+    }
+}
+
+/// Runs a memory experiment end to end (build → DEM → decode → stats).
+pub fn run_memory<R: Rng>(
+    exp: &MemoryExperiment,
+    decoder: DecoderKind,
+    shots: usize,
+    rng: &mut R,
+) -> ExperimentResult {
+    let circuit = exp.build();
+    let stats = decode_circuit(&circuit, decoder, shots, rng);
+    ExperimentResult {
+        distance: exp.distance,
+        cnots: 0,
+        se_rounds: exp.rounds,
+        patches: 1,
+        stats,
+    }
+}
+
+/// Runs a transversal-CNOT experiment end to end.
+pub fn run_transversal<R: Rng>(
+    exp: &TransversalCnotExperiment,
+    decoder: DecoderKind,
+    shots: usize,
+    rng: &mut R,
+) -> ExperimentResult {
+    let circuit = exp.build(rng);
+    let stats = decode_circuit(&circuit, decoder, shots, rng);
+    ExperimentResult {
+        distance: exp.distance,
+        cnots: exp.depth,
+        se_rounds: exp.expected_se_rounds(),
+        patches: exp.patches,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn memory_error_rate_reasonable_at_moderate_noise() {
+        let exp = MemoryExperiment {
+            distance: 3,
+            rounds: 3,
+            basis: Basis::Z,
+            noise: NoiseModel::uniform(3e-3),
+        };
+        let r = run_memory(
+            &exp,
+            DecoderKind::UnionFind,
+            5_000,
+            &mut StdRng::seed_from_u64(1),
+        );
+        // Well below threshold: logical error rate should be far below 10%.
+        assert!(r.logical_error_rate() < 0.1, "{}", r.logical_error_rate());
+    }
+
+    #[test]
+    fn memory_distance_suppression() {
+        let p = 2e-3;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rate = |d: u32| {
+            let exp = MemoryExperiment {
+                distance: d,
+                rounds: d as usize,
+                basis: Basis::Z,
+                noise: NoiseModel::uniform(p),
+            };
+            run_memory(&exp, DecoderKind::UnionFind, 20_000, &mut rng).logical_error_rate()
+        };
+        let r3 = rate(3);
+        let r5 = rate(5);
+        assert!(
+            r5 < r3.max(1.0 / 20_000.0) * 1.2,
+            "no suppression: d3 {r3}, d5 {r5}"
+        );
+    }
+
+    #[test]
+    fn transversal_experiment_builds_and_decodes() {
+        let exp = TransversalCnotExperiment {
+            distance: 3,
+            patches: 2,
+            depth: 4,
+            cnots_per_round: 1.0,
+            basis: Basis::Z,
+            noise: NoiseModel::uniform(2e-3),
+        };
+        let r = run_transversal(
+            &exp,
+            DecoderKind::UnionFind,
+            3_000,
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(r.cnots, 4);
+        assert!(r.logical_error_rate() < 0.2);
+        assert!(r.error_per_cnot() <= r.logical_error_rate());
+    }
+
+    #[test]
+    fn fewer_se_rounds_per_cnot_is_cheaper_per_gate() {
+        // The paper's core point (§II.4): O(1) SE rounds per transversal gate
+        // suffice, and *extra* rounds per gate add noise volume. At fixed
+        // depth, the x = 4 schedule (few rounds) must not be more error-prone
+        // per gate than the x = 0.5 schedule (two rounds per gate).
+        let p = 4e-3;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rate = |x: f64| {
+            let exp = TransversalCnotExperiment {
+                distance: 3,
+                patches: 2,
+                depth: 8,
+                cnots_per_round: x,
+                basis: Basis::Z,
+                noise: NoiseModel::uniform(p),
+            };
+            run_transversal(&exp, DecoderKind::UnionFind, 6_000, &mut rng)
+                .logical_error_rate()
+        };
+        let slow = rate(0.5); // 2 SE rounds per CNOT: 17 rounds total
+        let fast = rate(4.0); // 4 CNOTs per SE round: 3 rounds total
+        assert!(
+            fast < slow,
+            "extra SE rounds should cost more per gate: slow {slow}, fast {fast}"
+        );
+    }
+
+    #[test]
+    fn schedule_accounting() {
+        let exp = TransversalCnotExperiment {
+            distance: 3,
+            patches: 2,
+            depth: 8,
+            cnots_per_round: 2.0,
+            basis: Basis::Z,
+            noise: NoiseModel::noiseless(),
+        };
+        assert_eq!(exp.expected_se_rounds(), 1 + 4);
+        let c = exp.build(&mut StdRng::seed_from_u64(5));
+        assert!(c.num_detectors() > 0);
+    }
+
+    #[test]
+    fn ghz_noiseless_is_perfect() {
+        let exp = GhzFanoutExperiment {
+            distance: 3,
+            targets: 3,
+            noise: NoiseModel::noiseless(),
+        };
+        let c = exp.build();
+        assert_eq!(c.num_observables(), 2.max(c.num_observables().min(5)));
+        use raa_stabsim::FrameSim;
+        let s = FrameSim::sample(&c, 64, &mut StdRng::seed_from_u64(11));
+        for shot in 0..64 {
+            assert!(s.fired_detectors(shot).is_empty());
+            assert_eq!(s.observable_mask(shot), 0, "GHZ parity must hold");
+        }
+    }
+
+    #[test]
+    fn ghz_observables_are_deterministic_checks() {
+        use raa_stabsim::TableauSim;
+        let exp = GhzFanoutExperiment {
+            distance: 3,
+            targets: 4,
+            noise: NoiseModel::noiseless(),
+        };
+        let c = exp.build();
+        let reference = TableauSim::reference_sample(&c);
+        for o in 0..c.num_observables() {
+            let parity = c
+                .observable(o)
+                .iter()
+                .fold(false, |acc, &m| acc ^ reference[m]);
+            assert!(!parity, "GHZ pair parity {o} not deterministic");
+        }
+        for d in 0..c.num_detectors() {
+            let parity = c
+                .detector_measurements(d)
+                .iter()
+                .fold(false, |acc, &m| acc ^ reference[m]);
+            assert!(!parity, "detector {d} not deterministic");
+        }
+    }
+
+    #[test]
+    fn ghz_decodes_under_noise() {
+        let exp = GhzFanoutExperiment {
+            distance: 3,
+            targets: 3,
+            noise: NoiseModel::uniform(2e-3),
+        };
+        let r = run_ghz(
+            &exp,
+            DecoderKind::UnionFind,
+            4_000,
+            &mut StdRng::seed_from_u64(12),
+        );
+        assert!(
+            r.logical_error_rate() < 0.1,
+            "GHZ logical error = {}",
+            r.logical_error_rate()
+        );
+    }
+
+    #[test]
+    fn per_unit_rate_inverts_compounding() {
+        let p_unit: f64 = 0.01;
+        let units = 7.0;
+        let p_total = 1.0 - (1.0 - p_unit).powf(units);
+        assert!((per_unit_rate(p_total, units) - p_unit).abs() < 1e-12);
+        assert_eq!(per_unit_rate(0.0, 5.0), 0.0);
+    }
+}

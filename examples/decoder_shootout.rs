@@ -1,0 +1,91 @@
+//! Compare the crate's decoders head to head on the same surface-code
+//! memory workload: weighted union–find, exact small-instance matching
+//! (the MLE-like reference), BP-reweighted union–find, and sliding-window
+//! union–find. This is the paper's §III.4 observation made concrete — the
+//! choice of decoder moves the effective decoding factor α, and Fig. 13(a)
+//! shows the architecture tolerates that.
+//!
+//! ```sh
+//! cargo run --release --example decoder_shootout
+//! ```
+
+use raa::decode::{
+    mc, BpUnionFindDecoder, DecodingGraph, MatchingDecoder, UniformLayers, UnionFindDecoder,
+    WindowedDecoder,
+};
+use raa::stabsim::DetectorErrorModel;
+use raa::surface::{Basis, MemoryExperiment, NoiseModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let shots: usize = std::env::var("RAA_SHOTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let d = 3u32;
+    let p = 5e-3;
+    let exp = MemoryExperiment {
+        distance: d,
+        rounds: d as usize,
+        basis: Basis::Z,
+        noise: NoiseModel::uniform(p),
+    };
+    let circuit = exp.build();
+    let dem = DetectorErrorModel::from_circuit(&circuit);
+    let (graph, arbitrary) = DecodingGraph::from_dem_decomposed(&dem);
+    println!(
+        "surface-code memory d = {d}, {} rounds, p = {p}: {} detectors, {} DEM errors \
+         ({arbitrary} arbitrary decompositions), {shots} shots\n",
+        d,
+        dem.num_detectors,
+        dem.len()
+    );
+
+    let per_layer = ((d * d - 1) / 2 * 2) as usize; // detectors per SE round
+
+    let uf = UnionFindDecoder::new(graph.clone());
+    let mwpm = MatchingDecoder::new(graph.clone());
+    let bp = BpUnionFindDecoder::new(&dem);
+    let windowed = WindowedDecoder::new(
+        graph,
+        UniformLayers {
+            detectors_per_layer: per_layer,
+        },
+        2,
+        2,
+    );
+
+    let run = |name: &str, f: &dyn Fn(&mut StdRng) -> mc::DecodeStats| {
+        let mut rng = StdRng::seed_from_u64(99);
+        let t0 = Instant::now();
+        let stats = f(&mut rng);
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{name:<22} p_L = {:.5} +- {:.5}   ({:.0} shots/s)",
+            stats.logical_error_rate(),
+            stats.standard_error(),
+            stats.shots as f64 / dt
+        );
+    };
+
+    run("union-find", &|rng| {
+        mc::logical_error_rate(&circuit, &uf, shots, rng)
+    });
+    run("exact matching (MLE)", &|rng| {
+        mc::logical_error_rate(&circuit, &mwpm, shots, rng)
+    });
+    run("BP + union-find", &|rng| {
+        mc::logical_error_rate(&circuit, &bp, shots, rng)
+    });
+    run("windowed union-find", &|rng| {
+        mc::logical_error_rate(&circuit, &windowed, shots, rng)
+    });
+
+    println!(
+        "\nmore accurate decoders (matching, BP+UF) lower p_L, i.e. a smaller effective \
+         decoding factor alpha; the architecture-level impact of alpha is Fig. 13(a) \
+         (`cargo run -p raa-bench --bin fig13`)."
+    );
+}

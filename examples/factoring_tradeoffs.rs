@@ -1,0 +1,60 @@
+//! Explore the paper's §IV.3 trade-offs interactively:
+//! qubit caps (Fig. 14d), hardware acceleration (Fig. 14a) and the
+//! dense-qLDPC storage extension (§IV.3.4), plus instance-size scaling.
+//!
+//! ```sh
+//! cargo run --example factoring_tradeoffs
+//! ```
+
+use raa::shor::sensitivity::{sweep_acceleration, sweep_qldpc_storage, sweep_qubit_cap};
+use raa::shor::{FactoringInstance, TransversalArchitecture};
+
+fn main() {
+    let base = TransversalArchitecture::paper();
+
+    println!("=== qubit cap vs runtime (Fig. 14d) ===");
+    for pt in sweep_qubit_cap(&base, &[13e6, 16e6, 20e6, 30e6]) {
+        println!(
+            "  cap {:>5.1}M -> {:>5.1}M qubits, {:>6.2} days, {:>6.1} Mqubit-days",
+            pt.value / 1e6,
+            pt.estimate.qubits / 1e6,
+            pt.estimate.expected_days(),
+            pt.space_time().volume_mqubit_days()
+        );
+    }
+
+    println!();
+    println!("=== atom acceleration (Fig. 14a,b) ===");
+    for (pt, cycle) in sweep_acceleration(&base, &[0.3, 1.0, 3.0]) {
+        println!(
+            "  accel x{:<4} -> QEC cycle {:>6.0} us, {:>6.2} days",
+            pt.value,
+            cycle * 1e6,
+            pt.estimate.expected_days()
+        );
+    }
+
+    println!();
+    println!("=== dense qLDPC idle storage (sec. IV.3.4) ===");
+    let pts = sweep_qldpc_storage(&base, &[1.0, 10.0]);
+    let saving = 1.0 - pts[1].estimate.qubits / pts[0].estimate.qubits;
+    println!(
+        "  10x storage compression: {:.1}M -> {:.1}M qubits ({:.1}% saving)",
+        pts[0].estimate.qubits / 1e6,
+        pts[1].estimate.qubits / 1e6,
+        saving * 100.0
+    );
+
+    println!();
+    println!("=== instance-size scaling ===");
+    for bits in [1024u32, 2048, 3072] {
+        let mut arch = base;
+        arch.instance = FactoringInstance::new(bits);
+        let est = arch.estimate();
+        println!(
+            "  RSA-{bits}: {:>5.1}M qubits, {:>7.2} days",
+            est.qubits / 1e6,
+            est.expected_days()
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Tour of the magic-state factory (paper §III.6, Fig. 8): cultivation,
+//! the 8T-to-CCZ stage on the [[8,3,2]] code, and the exact enumeration
+//! behind the `p_out = 28 p_in²` suppression law (Eq. 8).
+//!
+//! ```sh
+//! cargo run --example factory_tour
+//! ```
+
+use raa::core::ArchContext;
+use raa::factory::{CczFactory, CultivationModel};
+use raa::surface::code832;
+
+fn main() {
+    println!("=== [[8,3,2]] code combinatorics (Eq. 8) ===");
+    let (w2, w4, w6, w8) = code832::harmful_pattern_counts();
+    println!("  harmful Z-error patterns by weight: w2 = {w2}, w4 = {w4}, w6 = {w6}, w8 = {w8}");
+    println!("  => p_out = {w2} p^2 + O(p^4)   (paper: 28 p^2)");
+    for p in [1e-3, 1e-5] {
+        println!(
+            "  p_in = {p:.0e}: exact p_out = {:.3e}, 28 p^2 = {:.3e}, rejection = {:.3e}",
+            code832::output_error_exact(p),
+            28.0 * p * p,
+            code832::rejection_probability(p)
+        );
+    }
+
+    println!();
+    println!("=== cultivation stage (first stage) ===");
+    let cult = CultivationModel::paper();
+    println!("  {cult}");
+    for eps in [1e-5, 7.7e-7, 1e-8] {
+        println!(
+            "  target {eps:.1e} -> expected volume {:.2e} qubit-rounds",
+            cult.expected_volume(eps)
+        );
+    }
+
+    println!();
+    println!("=== full factory at the paper's RSA-2048 operating point ===");
+    let ctx = ArchContext::paper();
+    let factory = CczFactory::for_target(&ctx, 1.6e-11).expect("reachable at d = 27");
+    println!("  {factory}");
+    println!(
+        "  per-T input error   : {:.2e}  (paper: 7.7e-7)",
+        factory.t_input_error()
+    );
+    println!(
+        "  output error        : {:.2e}  (target 1.6e-11)",
+        factory.output_error(&ctx)
+    );
+    let fp = factory.footprint(&ctx);
+    println!("  footprint           : {fp}  (12d x 4d at d = 27)");
+    println!("  physical qubits     : {:.0}", factory.qubits(&ctx));
+    println!(
+        "  production interval : {:.2} ms  ({:.0} CCZ/s)",
+        factory.production_interval(&ctx) * 1e3,
+        factory.production_rate(&ctx)
+    );
+    println!(
+        "  factories for the paper's addition stage: {}",
+        factory.count_for_demand(&ctx, 11_000.0)
+    );
+}

@@ -1,0 +1,40 @@
+//! Quickstart: reproduce the paper's headline result in a few lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Estimates 2048-bit RSA factoring on the transversal atom-array
+//! architecture with the paper's Table I physics and Table II algorithm
+//! parameters, and compares against the lattice-surgery baseline rescaled to
+//! the same hardware.
+
+use raa::shor::{GidneyEkeraModel, TransversalArchitecture};
+
+fn main() {
+    // The paper's configuration: Table I physics, Table II parameters.
+    let architecture = TransversalArchitecture::paper();
+    let estimate = architecture.estimate();
+
+    println!("=== 2048-bit RSA factoring on the transversal architecture ===");
+    println!("{estimate}");
+    println!();
+    println!("  lookup-additions : {}", estimate.lookup_additions);
+    println!("  per lookup       : {:.3} s", estimate.lookup_seconds);
+    println!("  per addition     : {:.3} s", estimate.addition_seconds);
+    println!("  CCZ states       : {:.2e}", estimate.ccz_total);
+    println!("  factories        : {}", estimate.factories);
+    println!("  code distance    : {}", estimate.distance);
+    println!();
+
+    // The same problem on lattice surgery at atom-array timescales (Fig. 2).
+    let baseline = GidneyEkeraModel::atom_array(1e-3);
+    let speedup = baseline.runtime_seconds() / estimate.expected_seconds();
+    println!("=== versus lattice surgery at 900 us cycles (Gidney-Ekera model) ===");
+    println!(
+        "  baseline: {:.0}M qubits, {:.0} days",
+        baseline.qubits() / 1e6,
+        baseline.runtime_seconds() / 86_400.0
+    );
+    println!("  transversal speed-up: {speedup:.1}x (paper: ~50x)");
+}
