@@ -19,7 +19,12 @@ fn main() {
     let ctx = ArchContext::paper();
 
     header("Ablation 1: magic-state strategy (per-CCZ volume, equal output error)");
-    row(&["strategy".into(), "qubits".into(), "interval (ms)".into(), "qubit*s per CCZ".into()]);
+    row(&[
+        "strategy".into(),
+        "qubits".into(),
+        "interval (ms)".into(),
+        "qubit*s per CCZ".into(),
+    ]);
     let cult = CczFactory::for_target(&ctx, 1.6e-11).expect("reachable");
     row(&[
         "cultivation + 8T-to-CCZ (paper)".into(),
@@ -37,28 +42,59 @@ fn main() {
     }
 
     header("Ablation 2: CNOT fan-out into a 2994-bit register");
-    row(&["method".into(), "seconds".into(), "extra patches".into(), "logical error".into()]);
+    row(&[
+        "method".into(),
+        "seconds".into(),
+        "extra patches".into(),
+        "logical error".into(),
+    ]);
     let g = ghz_fanout(&ctx, 2994, 2.0);
     let t = tree_fanout(&ctx, 2994);
-    row(&["GHZ measurement-based (paper)".into(), fmt(g.seconds), fmt(g.extra_patches), fmt(g.logical_error)]);
-    row(&["log-depth CNOT tree".into(), fmt(t.seconds), fmt(t.extra_patches), fmt(t.logical_error)]);
+    row(&[
+        "GHZ measurement-based (paper)".into(),
+        fmt(g.seconds),
+        fmt(g.extra_patches),
+        fmt(g.logical_error),
+    ]);
+    row(&[
+        "log-depth CNOT tree".into(),
+        fmt(t.seconds),
+        fmt(t.extra_patches),
+        fmt(t.logical_error),
+    ]);
 
     header("Ablation 3: oblivious carry runways (2048-bit addition)");
     row(&["adder".into(), "duration (s)".into(), "CCZ".into()]);
     let with = CuccaroAdder::new(2048, 96, 43);
     let without = CuccaroAdder::without_runways(2048);
-    row(&["r_sep = 96, r_pad = 43 (paper)".into(), fmt(with.duration(&ctx)), fmt(with.toffoli_count() as f64)]);
-    row(&["no runways".into(), fmt(without.duration(&ctx)), fmt(without.toffoli_count() as f64)]);
+    row(&[
+        "r_sep = 96, r_pad = 43 (paper)".into(),
+        fmt(with.duration(&ctx)),
+        fmt(with.toffoli_count() as f64),
+    ]);
+    row(&[
+        "no runways".into(),
+        fmt(without.duration(&ctx)),
+        fmt(without.toffoli_count() as f64),
+    ]);
 
     header("Ablation 4: windowed arithmetic (whole RSA-2048 run)");
     row(&["windows".into(), "days".into(), "CCZ total".into()]);
     let paper = TransversalArchitecture::paper().estimate();
-    row(&["w_exp = 3, w_mul = 4 (paper)".into(), fmt(paper.expected_days()), fmt(paper.ccz_total)]);
+    row(&[
+        "w_exp = 3, w_mul = 4 (paper)".into(),
+        fmt(paper.expected_days()),
+        fmt(paper.ccz_total),
+    ]);
     let mut naive = TransversalArchitecture::paper();
     naive.params.w_exp = 1;
     naive.params.w_mul = 1;
     let naive_est = naive.estimate();
-    row(&["w_exp = w_mul = 1 (schoolbook)".into(), fmt(naive_est.expected_days()), fmt(naive_est.ccz_total)]);
+    row(&[
+        "w_exp = w_mul = 1 (schoolbook)".into(),
+        fmt(naive_est.expected_days()),
+        fmt(naive_est.ccz_total),
+    ]);
 
     header("Ablation 5: SE rounds per transversal CNOT (per-CNOT volume, Eq. 6)");
     row(&["schedule".into(), "relative volume".into()]);

@@ -13,9 +13,7 @@
 
 use raa::core::fit::{fit_cnot_model, CnotErrorPoint};
 use raa::core::logical;
-use raa::surface::{
-    run_transversal, Basis, DecoderKind, NoiseModel, TransversalCnotExperiment,
-};
+use raa::surface::{run_transversal, Basis, DecoderKind, NoiseModel, TransversalCnotExperiment};
 use raa_bench::{env_shots, fmt, header, row};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -11,7 +11,10 @@ fn main() {
     let ccz_target = 1.6e-11; // the paper's per-CCZ budget for RSA-2048
     let rounds: Vec<f64> = vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
 
-    for (label, alpha) in [("alpha = 1/6 (p_th,1 = 0.86%)", 1.0 / 6.0), ("alpha = 1/2 (p_th,1 = 0.67%)", 0.5)] {
+    for (label, alpha) in [
+        ("alpha = 1/6 (p_th,1 = 0.86%)", 1.0 / 6.0),
+        ("alpha = 1/2 (p_th,1 = 0.67%)", 0.5),
+    ] {
         header(&format!(
             "Fig. 11(a,b): factory volume per CCZ vs SE rounds per CNOT, {label}"
         ));

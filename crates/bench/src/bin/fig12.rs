@@ -15,12 +15,36 @@ fn main() {
 
     header("Fig. 12(a): physical-qubit usage by component (Table II parameters)");
     row(&["component".into(), "qubits".into(), "phase".into()]);
-    row(&["accumulator register".into(), fmt(s.accumulator), "both".into()]);
-    row(&["multiplier register (dense idle)".into(), fmt(s.multiplier), "both".into()]);
-    row(&["lookup output register".into(), fmt(s.lookup_output), "both".into()]);
-    row(&["GHZ CNOT fan-out".into(), fmt(s.ghz_fanout), "lookup".into()]);
-    row(&["adder MAJ/UMA pipeline".into(), fmt(s.adder_pipeline), "addition".into()]);
-    row(&["magic-state factories".into(), fmt(s.factories), "both".into()]);
+    row(&[
+        "accumulator register".into(),
+        fmt(s.accumulator),
+        "both".into(),
+    ]);
+    row(&[
+        "multiplier register (dense idle)".into(),
+        fmt(s.multiplier),
+        "both".into(),
+    ]);
+    row(&[
+        "lookup output register".into(),
+        fmt(s.lookup_output),
+        "both".into(),
+    ]);
+    row(&[
+        "GHZ CNOT fan-out".into(),
+        fmt(s.ghz_fanout),
+        "lookup".into(),
+    ]);
+    row(&[
+        "adder MAJ/UMA pipeline".into(),
+        fmt(s.adder_pipeline),
+        "addition".into(),
+    ]);
+    row(&[
+        "magic-state factories".into(),
+        fmt(s.factories),
+        "both".into(),
+    ]);
     header(&format!(
         "peak footprint: {:.2}M qubits ({} factories, d = {})",
         est.qubits / 1e6,
@@ -31,7 +55,10 @@ fn main() {
     header("Fig. 12(b): logical-error contributions per run");
     row(&["source".into(), "probability".into()]);
     row(&["CCZ magic states".into(), fmt(est.errors.ccz)]);
-    row(&["transversal gates (fan-out dominated)".into(), fmt(est.errors.gates)]);
+    row(&[
+        "transversal gates (fan-out dominated)".into(),
+        fmt(est.errors.gates),
+    ]);
     row(&["runway approximation".into(), fmt(est.errors.runways)]);
     row(&["dense-storage idling".into(), fmt(est.errors.storage)]);
     row(&["total".into(), fmt(est.errors.total())]);

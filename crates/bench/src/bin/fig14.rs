@@ -32,14 +32,14 @@ fn main() {
     }
 
     header("Fig. 14(c): reaction-time sweep");
-    row(&[
-        "reaction (ms)".into(),
-        "days".into(),
-        "Mqubit-days".into(),
-    ]);
+    row(&["reaction (ms)".into(), "days".into(), "Mqubit-days".into()]);
     for pt in sweep_reaction(&base, &[10e-3, 3e-3, 1e-3, 0.3e-3, 0.1e-3]) {
         let st = pt.space_time();
-        row(&[fmt(pt.value * 1e3), fmt(st.days()), fmt(st.volume_mqubit_days())]);
+        row(&[
+            fmt(pt.value * 1e3),
+            fmt(st.days()),
+            fmt(st.volume_mqubit_days()),
+        ]);
     }
     header("paper: gains bottom out at the CNOT fan-out volume");
 

@@ -24,5 +24,8 @@ fn main() {
         fmt(cycle.patch_move_time() * 1e6),
     ]);
     row(&["QEC cycle (us)".into(), fmt(cycle.cycle_time() * 1e6)]);
-    row(&["reaction time (us)".into(), fmt(cycle.reaction_time() * 1e6)]);
+    row(&[
+        "reaction time (us)".into(),
+        fmt(cycle.reaction_time() * 1e6),
+    ]);
 }

@@ -82,8 +82,8 @@ impl ThcInstance {
     /// Address bits of the PREPARE coefficient table: the THC auxiliary
     /// register indexes `M(M+1)/2 + N/2` coefficients.
     pub fn prepare_address_bits(&self) -> u32 {
-        let entries =
-            u64::from(self.thc_rank) * u64::from(self.thc_rank + 1) / 2 + u64::from(self.spin_orbitals / 2);
+        let entries = u64::from(self.thc_rank) * u64::from(self.thc_rank + 1) / 2
+            + u64::from(self.spin_orbitals / 2);
         (64 - entries.leading_zeros()).max(1)
     }
 }
@@ -211,8 +211,16 @@ mod tests {
         // at ~0.5 s per step that is days-scale on the transversal machine.
         let inst = ThcInstance::femoco_like();
         let est = estimate(&inst, &ArchContext::paper());
-        assert!(est.days() > 0.5 && est.days() < 200.0, "days = {}", est.days());
-        assert!(est.qubits > 1e5 && est.qubits < 1e8, "qubits = {}", est.qubits);
+        assert!(
+            est.days() > 0.5 && est.days() < 200.0,
+            "days = {}",
+            est.days()
+        );
+        assert!(
+            est.qubits > 1e5 && est.qubits < 1e8,
+            "qubits = {}",
+            est.qubits
+        );
         assert!(est.total_error < 0.5, "p = {}", est.total_error);
     }
 

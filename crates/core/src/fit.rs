@@ -169,10 +169,21 @@ mod tests {
     #[test]
     fn recovers_paper_parameters_from_clean_data() {
         let truth = ErrorModelParams::paper();
-        let points = synthetic(&truth, &[(0.25, 7), (0.5, 9), (1.0, 11), (2.0, 13), (4.0, 15)]);
+        let points = synthetic(
+            &truth,
+            &[(0.25, 7), (0.5, 9), (1.0, 11), (2.0, 13), (4.0, 15)],
+        );
         let fit = fit_cnot_model(&points, truth.c);
-        assert!((fit.alpha - truth.alpha).abs() < 0.01, "alpha {}", fit.alpha);
-        assert!((fit.lambda - truth.lambda()).abs() < 0.3, "lambda {}", fit.lambda);
+        assert!(
+            (fit.alpha - truth.alpha).abs() < 0.01,
+            "alpha {}",
+            fit.alpha
+        );
+        assert!(
+            (fit.lambda - truth.lambda()).abs() < 0.3,
+            "lambda {}",
+            fit.lambda
+        );
         assert!(fit.residual < 1e-6);
     }
 
@@ -193,7 +204,11 @@ mod tests {
             p.error_per_cnot *= 1.0 + 0.2 * if i % 2 == 0 { 1.0 } else { -1.0 };
         }
         let fit = fit_cnot_model(&points, truth.c);
-        assert!((fit.alpha - truth.alpha).abs() < 0.15, "alpha {}", fit.alpha);
+        assert!(
+            (fit.alpha - truth.alpha).abs() < 0.15,
+            "alpha {}",
+            fit.alpha
+        );
         assert!((fit.lambda - 10.0).abs() < 3.0, "lambda {}", fit.lambda);
     }
 

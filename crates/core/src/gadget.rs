@@ -89,7 +89,10 @@ impl GadgetCost {
 
     /// Scales all extensive quantities for `n` sequential invocations.
     pub fn repeat(&self, n: f64) -> GadgetCost {
-        assert!(n >= 0.0 && n.is_finite(), "repeat count must be non-negative");
+        assert!(
+            n >= 0.0 && n.is_finite(),
+            "repeat count must be non-negative"
+        );
         GadgetCost {
             qubits: self.qubits,
             seconds: self.seconds * n,

@@ -30,12 +30,7 @@ pub const SE_LOCATIONS_PER_QUBIT: f64 = 10.0;
 /// # Panics
 ///
 /// Panics if `dt` or `t_coh` is not strictly positive.
-pub fn idle_error_per_round(
-    params: &ErrorModelParams,
-    distance: u32,
-    dt: f64,
-    t_coh: f64,
-) -> f64 {
+pub fn idle_error_per_round(params: &ErrorModelParams, distance: u32, dt: f64, t_coh: f64) -> f64 {
     assert!(dt.is_finite() && dt > 0.0, "SE period must be positive");
     assert!(
         t_coh.is_finite() && t_coh > 0.0,
@@ -47,12 +42,7 @@ pub fn idle_error_per_round(
 }
 
 /// Logical error per qubit per second of storage at SE period `dt`.
-pub fn idle_error_per_second(
-    params: &ErrorModelParams,
-    distance: u32,
-    dt: f64,
-    t_coh: f64,
-) -> f64 {
+pub fn idle_error_per_second(params: &ErrorModelParams, distance: u32, dt: f64, t_coh: f64) -> f64 {
     idle_error_per_round(params, distance, dt, t_coh) / dt
 }
 
@@ -72,11 +62,7 @@ pub fn idle_distance_for_target(
 
 /// The SE period minimizing the idle error per second at fixed distance,
 /// found on a log grid over `[1 µs, t_coh]`.
-pub fn optimal_idle_period(
-    params: &ErrorModelParams,
-    distance: u32,
-    t_coh: f64,
-) -> f64 {
+pub fn optimal_idle_period(params: &ErrorModelParams, distance: u32, t_coh: f64) -> f64 {
     let mut best = (f64::INFINITY, 1e-3);
     let mut dt = 1e-6;
     while dt <= t_coh {
@@ -127,11 +113,7 @@ pub fn sweep_idle_period(
 /// The closed-form optimum of the smooth model:
 /// `Δt* = n_loc·p_phys·T_coh/(k−1)` with `k = (d+1)/2`; the analytic
 /// counterpart of [`optimal_idle_period`].
-pub fn analytic_optimal_idle_period(
-    params: &ErrorModelParams,
-    distance: u32,
-    t_coh: f64,
-) -> f64 {
+pub fn analytic_optimal_idle_period(params: &ErrorModelParams, distance: u32, t_coh: f64) -> f64 {
     let k = f64::from(distance + 1) / 2.0;
     SE_LOCATIONS_PER_QUBIT * params.p_phys * t_coh / (k - 1.0)
 }

@@ -231,10 +231,7 @@ mod tests {
         assert_eq!(distance_for_cnot_target(&p(), 1.0, 1e-30, 9), None);
         // Above effective threshold: no distance helps.
         let hot = p().with_p_phys(9.9e-3); // Λ ≈ 1.01; αx+1 pushes base > 1
-        assert_eq!(
-            continuous_distance_for_cnot_target(&hot, 4.0, 1e-12),
-            None
-        );
+        assert_eq!(continuous_distance_for_cnot_target(&hot, 4.0, 1e-12), None);
     }
 
     #[test]

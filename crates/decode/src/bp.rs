@@ -10,9 +10,14 @@
 //! decoding graph with those posteriors before union–find (
 //! [`BpUnionFindDecoder`]) recovers some of the correlation information a
 //! plain matching decoder discards.
+//!
+//! The Tanner graph is stored in flat CSR form (error→detector slots and
+//! detector→(error, slot) pairs precomputed at construction), and all
+//! message buffers live in a reusable scratch, so per-syndrome BP runs
+//! without heap allocation.
 
 use crate::graph::DecodingGraph;
-use crate::unionfind::UnionFindDecoder;
+use crate::unionfind::{UfScratch, UnionFindDecoder};
 use crate::Decoder;
 use raa_stabsim::dem::DetectorErrorModel;
 
@@ -24,32 +29,71 @@ use raa_stabsim::dem::DetectorErrorModel;
 pub struct BeliefPropagation {
     /// Per-error prior log-likelihood ratios `ln((1-p)/p)`.
     priors: Vec<f64>,
-    /// For each error, the detectors it flips.
-    error_dets: Vec<Vec<u32>>,
-    /// For each detector, the errors that flip it.
-    det_errors: Vec<Vec<u32>>,
+    /// CSR offsets into `error_dets`: error `e` owns slots
+    /// `error_off[e]..error_off[e + 1]`.
+    error_off: Vec<u32>,
+    /// Flattened per-error detector lists.
+    error_dets: Vec<u32>,
+    /// CSR offsets into `det_slots`: detector `d` owns
+    /// `det_off[d]..det_off[d + 1]`.
+    det_off: Vec<u32>,
+    /// Flattened per-detector message-slot indices into the flat message
+    /// arrays (shared with `error_dets`).
+    det_slots: Vec<u32>,
     iterations: usize,
     num_detectors: usize,
+}
+
+/// Reusable working state for [`BeliefPropagation`].
+#[derive(Debug, Clone, Default)]
+pub struct BpScratch {
+    syndrome: Vec<bool>,
+    /// Variable→check messages, one per (error, detector) slot.
+    var_to_chk: Vec<f64>,
+    /// Check→variable messages, one per (error, detector) slot.
+    chk_to_var: Vec<f64>,
+    /// Per-error posterior LLRs.
+    posteriors: Vec<f64>,
+    /// Hard-decision parity accumulator.
+    parity: Vec<bool>,
 }
 
 impl BeliefPropagation {
     /// Builds the BP engine from a DEM (hyperedges allowed).
     pub fn new(dem: &DetectorErrorModel) -> Self {
         let mut priors = Vec::with_capacity(dem.len());
-        let mut error_dets = Vec::with_capacity(dem.len());
-        let mut det_errors = vec![Vec::new(); dem.num_detectors];
-        for (i, e) in dem.iter().enumerate() {
+        let mut error_off = Vec::with_capacity(dem.len() + 1);
+        let mut error_dets = Vec::new();
+        error_off.push(0u32);
+        let mut det_degree = vec![0u32; dem.num_detectors];
+        for e in dem.iter() {
             let p = e.probability.clamp(1e-12, 0.5 - 1e-12);
             priors.push(((1.0 - p) / p).ln());
-            error_dets.push(e.detectors.clone());
             for &d in &e.detectors {
-                det_errors[d as usize].push(i as u32);
+                error_dets.push(d);
+                det_degree[d as usize] += 1;
+            }
+            error_off.push(error_dets.len() as u32);
+        }
+        let mut det_off = Vec::with_capacity(dem.num_detectors + 1);
+        det_off.push(0u32);
+        for d in 0..dem.num_detectors {
+            det_off.push(det_off[d] + det_degree[d]);
+        }
+        let mut det_slots = vec![0u32; error_dets.len()];
+        let mut cursor: Vec<u32> = det_off[..dem.num_detectors].to_vec();
+        for (e, err) in dem.iter().enumerate() {
+            for (k, &d) in err.detectors.iter().enumerate() {
+                det_slots[cursor[d as usize] as usize] = error_off[e] + k as u32;
+                cursor[d as usize] += 1;
             }
         }
         Self {
             priors,
+            error_off,
             error_dets,
-            det_errors,
+            det_off,
+            det_slots,
             iterations: 20,
             num_detectors: dem.num_detectors,
         }
@@ -74,47 +118,44 @@ impl BeliefPropagation {
     /// Runs min-sum BP for the given syndrome, returning per-error posterior
     /// log-likelihood ratios (positive = probably did not fire).
     pub fn posteriors(&self, defects: &[u32]) -> Vec<f64> {
-        let mut syndrome = vec![false; self.num_detectors];
+        let mut scratch = BpScratch::default();
+        self.posteriors_into(defects, &mut scratch);
+        scratch.posteriors
+    }
+
+    /// Like [`BeliefPropagation::posteriors`], but reuses `scratch` and
+    /// leaves the result in `scratch.posteriors` (also returned as a slice).
+    /// Steady state performs no heap allocation.
+    pub fn posteriors_into<'s>(&self, defects: &[u32], scratch: &'s mut BpScratch) -> &'s [f64] {
+        let slots = self.error_dets.len();
+        let ne = self.num_errors();
+        scratch.syndrome.clear();
+        scratch.syndrome.resize(self.num_detectors, false);
         for &d in defects {
-            syndrome[d as usize] = true;
+            scratch.syndrome[d as usize] = true;
         }
-        // Messages indexed by (error, slot-within-error-dets).
-        let mut var_to_chk: Vec<Vec<f64>> = self
-            .error_dets
-            .iter()
-            .enumerate()
-            .map(|(i, dets)| vec![self.priors[i]; dets.len()])
-            .collect();
-        let mut chk_to_var: Vec<Vec<f64>> = self
-            .error_dets
-            .iter()
-            .map(|dets| vec![0.0; dets.len()])
-            .collect();
+        scratch.var_to_chk.clear();
+        scratch.var_to_chk.resize(slots, 0.0);
+        scratch.chk_to_var.clear();
+        scratch.chk_to_var.resize(slots, 0.0);
+        for e in 0..ne {
+            let (lo, hi) = (self.error_off[e] as usize, self.error_off[e + 1] as usize);
+            scratch.var_to_chk[lo..hi].fill(self.priors[e]);
+        }
 
         for _ in 0..self.iterations {
-            // Check update: for detector d, message to error e is
-            // sign-product/min-magnitude of other incoming messages, with the
-            // syndrome bit flipping the sign.
-            for (d, errors) in self.det_errors.iter().enumerate() {
-                // Gather incoming messages for this check.
-                let incoming: Vec<f64> = errors
-                    .iter()
-                    .map(|&e| {
-                        let slot = self.error_dets[e as usize]
-                            .iter()
-                            .position(|&dd| dd as usize == d)
-                            .expect("consistent adjacency");
-                        var_to_chk[e as usize][slot]
-                    })
-                    .collect();
-                let total_sign: f64 = incoming
-                    .iter()
-                    .map(|m| if *m < 0.0 { -1.0 } else { 1.0 })
-                    .product::<f64>()
-                    * if syndrome[d] { -1.0 } else { 1.0 };
-                // Two smallest magnitudes for exclusion.
+            // Check update: for detector d, the message to error e is the
+            // sign-product / min-magnitude of the other incoming messages,
+            // with the syndrome bit flipping the sign.
+            for d in 0..self.num_detectors {
+                let (lo, hi) = (self.det_off[d] as usize, self.det_off[d + 1] as usize);
+                let mut total_sign = if scratch.syndrome[d] { -1.0f64 } else { 1.0 };
                 let (mut min1, mut min2) = (f64::INFINITY, f64::INFINITY);
-                for m in &incoming {
+                for &slot in &self.det_slots[lo..hi] {
+                    let m = scratch.var_to_chk[slot as usize];
+                    if m < 0.0 {
+                        total_sign = -total_sign;
+                    }
                     let a = m.abs();
                     if a < min1 {
                         min2 = min1;
@@ -123,52 +164,71 @@ impl BeliefPropagation {
                         min2 = a;
                     }
                 }
-                for (k, &e) in errors.iter().enumerate() {
-                    let slot = self.error_dets[e as usize]
-                        .iter()
-                        .position(|&dd| dd as usize == d)
-                        .expect("consistent adjacency");
-                    let m = incoming[k];
+                for &slot in &self.det_slots[lo..hi] {
+                    let m = scratch.var_to_chk[slot as usize];
                     let sign_excl = total_sign * if m < 0.0 { -1.0 } else { 1.0 };
                     let mag_excl = if m.abs() <= min1 { min2 } else { min1 };
-                    chk_to_var[e as usize][slot] = sign_excl * mag_excl.min(30.0);
+                    scratch.chk_to_var[slot as usize] = sign_excl * mag_excl.min(30.0);
                 }
             }
             // Variable update.
-            for e in 0..self.num_errors() {
-                let total: f64 = self.priors[e] + chk_to_var[e].iter().sum::<f64>();
-                for slot in 0..self.error_dets[e].len() {
-                    var_to_chk[e][slot] = (total - chk_to_var[e][slot]).clamp(-30.0, 30.0);
+            for e in 0..ne {
+                let (lo, hi) = (self.error_off[e] as usize, self.error_off[e + 1] as usize);
+                let total: f64 = self.priors[e] + scratch.chk_to_var[lo..hi].iter().sum::<f64>();
+                for slot in lo..hi {
+                    scratch.var_to_chk[slot] =
+                        (total - scratch.chk_to_var[slot]).clamp(-30.0, 30.0);
                 }
             }
         }
 
-        (0..self.num_errors())
-            .map(|e| (self.priors[e] + chk_to_var[e].iter().sum::<f64>()).clamp(-30.0, 30.0))
-            .collect()
+        scratch.posteriors.clear();
+        scratch.posteriors.extend((0..ne).map(|e| {
+            let (lo, hi) = (self.error_off[e] as usize, self.error_off[e + 1] as usize);
+            (self.priors[e] + scratch.chk_to_var[lo..hi].iter().sum::<f64>()).clamp(-30.0, 30.0)
+        }));
+        &scratch.posteriors
     }
 
     /// Hard-decision decode: errors with negative posterior LLR are taken as
     /// fired; returns the XOR of their observable masks and whether the
     /// decision reproduces the syndrome exactly (BP converged).
     pub fn hard_decision(&self, dem: &DetectorErrorModel, defects: &[u32]) -> (u64, bool) {
-        let post = self.posteriors(defects);
+        self.hard_decision_into(dem, defects, &mut BpScratch::default())
+    }
+
+    /// Like [`BeliefPropagation::hard_decision`], but reuses `scratch`.
+    pub fn hard_decision_into(
+        &self,
+        dem: &DetectorErrorModel,
+        defects: &[u32],
+        scratch: &mut BpScratch,
+    ) -> (u64, bool) {
+        self.posteriors_into(defects, scratch);
         let mut obs = 0u64;
-        let mut parity = vec![false; self.num_detectors];
-        for (e, llr) in post.iter().enumerate() {
+        scratch.parity.clear();
+        scratch.parity.resize(self.num_detectors, false);
+        for (e, llr) in scratch.posteriors.iter().enumerate() {
             if *llr < 0.0 {
                 obs ^= dem.errors[e].observables;
                 for &d in &dem.errors[e].detectors {
-                    parity[d as usize] = !parity[d as usize];
+                    scratch.parity[d as usize] = !scratch.parity[d as usize];
                 }
             }
         }
-        let mut want = vec![false; self.num_detectors];
-        for &d in defects {
-            want[d as usize] = true;
-        }
-        (obs, parity == want)
+        // `scratch.syndrome` still holds the target syndrome.
+        let converged = scratch.parity == scratch.syndrome;
+        (obs, converged)
     }
+}
+
+/// Reusable working state for [`BpUnionFindDecoder`].
+#[derive(Debug, Clone, Default)]
+pub struct BpUfScratch {
+    /// BP message and posterior buffers.
+    pub bp: BpScratch,
+    /// Union–find fallback scratch.
+    pub uf: UfScratch,
 }
 
 /// Union–find decoding on a BP-reweighted graph: BP posteriors conditioned
@@ -204,15 +264,19 @@ impl BpUnionFindDecoder {
 }
 
 impl Decoder for BpUnionFindDecoder {
-    fn predict(&self, defects: &[u32]) -> u64 {
+    type Scratch = BpUfScratch;
+
+    fn predict_into(&self, defects: &[u32], scratch: &mut BpUfScratch) -> u64 {
         if defects.is_empty() {
             return 0;
         }
-        let (obs, converged) = self.bp.hard_decision(&self.dem, defects);
+        let (obs, converged) = self
+            .bp
+            .hard_decision_into(&self.dem, defects, &mut scratch.bp);
         if converged {
             return obs;
         }
-        self.base.predict(defects)
+        self.base.predict_into(defects, &mut scratch.uf)
     }
 }
 
@@ -270,6 +334,20 @@ mod tests {
         );
         // The interior edge {2,3} should stay positive (not blamed).
         assert!(post[3] > 0.0, "posts = {post:?}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        let dem = chain_dem(6, 0.02);
+        let d = BpUnionFindDecoder::new(&dem);
+        let mut scratch = BpUfScratch::default();
+        for syndrome in [vec![0u32], vec![], vec![1, 2], vec![5], vec![0, 1, 4, 5]] {
+            assert_eq!(
+                d.predict_into(&syndrome, &mut scratch),
+                d.predict(&syndrome),
+                "syndrome {syndrome:?}"
+            );
+        }
     }
 
     #[test]

@@ -122,8 +122,8 @@ impl DecodingGraph {
     /// (non-matching) decomposition.
     pub fn from_dem_decomposed(dem: &DetectorErrorModel) -> (Self, usize) {
         let (graphlike, arbitrary) = dem.decompose_graphlike();
-        let graph = Self::from_dem(&graphlike)
-            .expect("decompose_graphlike output must be graphlike");
+        let graph =
+            Self::from_dem(&graphlike).expect("decompose_graphlike output must be graphlike");
         (graph, arbitrary)
     }
 
@@ -200,7 +200,11 @@ mod tests {
     #[test]
     fn builds_boundary_and_bulk_edges() {
         let d = dem(
-            vec![err(&[0], 1, 0.01), err(&[0, 1], 0, 0.02), err(&[1], 0, 0.01)],
+            vec![
+                err(&[0], 1, 0.01),
+                err(&[0, 1], 0, 0.02),
+                err(&[1], 0, 0.01),
+            ],
             2,
         );
         let g = DecodingGraph::from_dem(&d).unwrap();

@@ -10,12 +10,52 @@
 //! * [`matching`] — exact minimum-weight perfect matching for small defect
 //!   sets (Dijkstra + bitmask DP), the MLE-like accuracy reference used to
 //!   calibrate the paper's decoding factor α;
-//! * [`mc`] — the sample → decode → compare Monte-Carlo harness.
+//! * [`bp`] — belief-propagation reweighting ahead of union–find;
+//! * [`windowed`] — sliding-window decoding over the circuit's time axis;
+//! * [`mc`] — the sample → decode → compare Monte-Carlo harness, sharded
+//!   across threads with deterministic per-batch seeding.
 //!
 //! Correlated decoding across transversal gates (paper §II.4) needs no
 //! special machinery here: the decoding graph is built from the DEM of the
 //! *joint* multi-patch circuit, so error mechanisms spanning patches become
 //! ordinary edges.
+//!
+//! # The scratch-based decoding API
+//!
+//! Threshold-scale Monte Carlo decodes millions of syndromes, and the cost
+//! of allocating per-call working state (union–find cluster tables, Dijkstra
+//! heaps, DP tables, BP message buffers) dominates small-syndrome decodes.
+//! The [`Decoder`] trait therefore splits state from logic:
+//!
+//! * every decoder has an associated [`Decoder::Scratch`] type holding all
+//!   of its mutable working state, constructed with `Default::default()`
+//!   and lazily sized to the decoder's graph on first use;
+//! * [`Decoder::predict_into`] decodes one syndrome using a caller-provided
+//!   scratch; in steady state it performs **no heap allocation**;
+//! * [`Decoder::predict`] remains as a convenience wrapper that builds a
+//!   fresh scratch per call — fine for one-off decodes, wasteful in loops.
+//!
+//! Hot loops keep one scratch per thread:
+//!
+//! ```
+//! use raa_stabsim::dem::{DemError, DetectorErrorModel};
+//! use raa_decode::{graph::DecodingGraph, unionfind::UnionFindDecoder, Decoder};
+//!
+//! let dem = DetectorErrorModel {
+//!     num_detectors: 2,
+//!     num_observables: 1,
+//!     errors: vec![
+//!         DemError { probability: 0.01, detectors: vec![0], observables: 1 },
+//!         DemError { probability: 0.01, detectors: vec![0, 1], observables: 0 },
+//!         DemError { probability: 0.01, detectors: vec![1], observables: 0 },
+//!     ],
+//! };
+//! let decoder = UnionFindDecoder::new(DecodingGraph::from_dem(&dem).unwrap());
+//! let mut scratch = Default::default();
+//! for syndrome in [vec![0u32], vec![0, 1], vec![]] {
+//!     let _mask = decoder.predict_into(&syndrome, &mut scratch);
+//! }
+//! ```
 //!
 //! # Example
 //!
@@ -49,15 +89,36 @@ pub mod mc;
 pub mod unionfind;
 pub mod windowed;
 
+pub use bp::{BeliefPropagation, BpUfScratch, BpUnionFindDecoder};
 pub use graph::{DecodingGraph, Edge, GraphError};
-pub use matching::MatchingDecoder;
-pub use mc::DecodeStats;
-pub use bp::{BeliefPropagation, BpUnionFindDecoder};
-pub use unionfind::{UnionFindDecoder, UnionFindOutcome};
-pub use windowed::{LayerAssignment, UniformLayers, WindowedDecoder};
+pub use matching::{MatchScratch, MatchingDecoder};
+pub use mc::{DecodeStats, McConfig, SeedPolicy};
+pub use unionfind::{UfScratch, UnionFindDecoder, UnionFindOutcome};
+pub use windowed::{LayerAssignment, UniformLayers, WindowScratch, WindowedDecoder};
 
 /// A syndrome decoder: predicts which logical observables flipped.
+///
+/// Implementations separate immutable decoding state (the graph, weights,
+/// priors — owned by the decoder) from per-call working state (owned by a
+/// [`Decoder::Scratch`]), so hot loops can decode millions of syndromes
+/// without per-shot allocation. See the crate docs for the pattern.
 pub trait Decoder {
+    /// Reusable working state; `Default::default()` yields an empty scratch
+    /// that is lazily sized to this decoder on first use.
+    type Scratch: Default + Send;
+
+    /// Predicts the observable-flip mask for the given fired detectors,
+    /// reusing `scratch` for all working state.
+    ///
+    /// Steady state (after the scratch has grown to the decoder's problem
+    /// size) performs no heap allocation.
+    fn predict_into(&self, defects: &[u32], scratch: &mut Self::Scratch) -> u64;
+
     /// Predicts the observable-flip mask for the given fired detectors.
-    fn predict(&self, defects: &[u32]) -> u64;
+    ///
+    /// Convenience wrapper building a fresh scratch per call; prefer
+    /// [`Decoder::predict_into`] in loops.
+    fn predict(&self, defects: &[u32]) -> u64 {
+        self.predict_into(defects, &mut Self::Scratch::default())
+    }
 }

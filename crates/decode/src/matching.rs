@@ -6,6 +6,10 @@
 //! (default 20 defects) with a greedy fallback; within the cap it plays the
 //! role of the paper's most-likely-error (MLE) reference decoder for
 //! calibrating the decoding factor α on small instances.
+//!
+//! All working state — per-defect distance/predecessor tables, the Dijkstra
+//! heap, the DP tables, the greedy option list — lives in a reusable
+//! [`MatchScratch`], so the steady-state decode loop is allocation-free.
 
 use crate::graph::DecodingGraph;
 use crate::Decoder;
@@ -15,13 +19,35 @@ use std::collections::BinaryHeap;
 /// Default maximum number of defects for the exact DP.
 pub const DEFAULT_MAX_EXACT_DEFECTS: usize = 20;
 
-/// Result of one shortest-path computation from a defect.
-#[derive(Debug, Clone)]
-struct ShortestPaths {
-    /// dist[node]; the boundary is the last node.
+/// Reusable working state for [`MatchingDecoder`].
+///
+/// Construct with `Default::default()`; buffers grow to the largest problem
+/// seen and are reused thereafter.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// Flattened per-defect distance tables: `dist[k * num_nodes + node]`.
     dist: Vec<f64>,
-    /// Incoming edge index on the shortest path tree.
+    /// Flattened per-defect shortest-path-tree predecessor edges.
     pred: Vec<u32>,
+    heap: BinaryHeap<HeapItem>,
+    /// DP cost table over defect subsets.
+    cost: Vec<f64>,
+    /// DP choice table over defect subsets.
+    choice: Vec<Match>,
+    /// Greedy fallback's sorted option list.
+    options: Vec<(f64, Match)>,
+    /// Greedy fallback's per-defect used flags.
+    used: Vec<bool>,
+    /// The selected pairing.
+    pairing: Vec<Match>,
+    /// Component partition: union-find parents over defect indices.
+    comp_parent: Vec<u32>,
+    /// `(component root, defect index)` pairs, sorted to group components.
+    comp_groups: Vec<(u32, u32)>,
+    /// Defect indices of the component currently being solved.
+    comp_rows: Vec<u32>,
+    /// Per-node flags marking Dijkstra targets (defects + boundary).
+    is_target: Vec<bool>,
 }
 
 /// Exact small-instance matching decoder with greedy fallback.
@@ -77,26 +103,45 @@ impl MatchingDecoder {
         &self.graph
     }
 
-    /// Whether a syndrome of `n` defects will be decoded exactly.
+    /// Whether a defect component of size `n` will be decoded exactly.
+    ///
+    /// Defects are first partitioned into independent components (defects
+    /// `i`, `j` interact only when `d(i, j) < bnd(i) + bnd(j)`; otherwise
+    /// routing both to the boundary is never worse than pairing them), and
+    /// the cap applies per component — so syndromes far larger than the cap
+    /// still decode exactly when their defects are spread out.
     pub fn is_exact_for(&self, n: usize) -> bool {
         n <= self.max_exact_defects
     }
 
-    fn dijkstra(&self, source: u32) -> ShortestPaths {
+    /// Dijkstra from `source`, writing into row `row` of the scratch tables.
+    /// Terminates once every marked target (`scratch.is_target`) is settled:
+    /// the pairing only needs defect→defect and defect→boundary distances,
+    /// and settled targets carry final predecessor chains.
+    fn dijkstra(&self, source: u32, row: usize, targets: usize, scratch: &mut MatchScratch) {
         let nd = self.graph.num_detectors();
         let boundary = nd;
         let n = nd + 1;
-        let mut dist = vec![f64::INFINITY; n];
-        let mut pred = vec![u32::MAX; n];
-        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+        let dist = &mut scratch.dist[row * n..(row + 1) * n];
+        let pred = &mut scratch.pred[row * n..(row + 1) * n];
+        dist.fill(f64::INFINITY);
+        pred.fill(u32::MAX);
+        scratch.heap.clear();
         dist[source as usize] = 0.0;
-        heap.push(HeapItem {
+        scratch.heap.push(HeapItem {
             dist: 0.0,
             node: source,
         });
-        while let Some(HeapItem { dist: d, node }) = heap.pop() {
+        let mut remaining = targets;
+        while let Some(HeapItem { dist: d, node }) = scratch.heap.pop() {
             if d > dist[node as usize] {
                 continue;
+            }
+            if scratch.is_target[node as usize] {
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
             }
             if node as usize == boundary {
                 // Paths through the boundary are not physical error chains.
@@ -113,23 +158,24 @@ impl MatchingDecoder {
                 if nd2 < dist[other as usize] {
                     dist[other as usize] = nd2;
                     pred[other as usize] = ei;
-                    heap.push(HeapItem {
+                    scratch.heap.push(HeapItem {
                         dist: nd2,
                         node: other,
                     });
                 }
             }
         }
-        ShortestPaths { dist, pred }
     }
 
-    /// Observable mask along the shortest-path tree of `paths` from `from`
+    /// Observable mask along defect `row`'s shortest-path tree from `from`
     /// back to the tree's source.
-    fn path_observables(&self, paths: &ShortestPaths, mut from: u32) -> u64 {
+    fn path_observables(&self, scratch: &MatchScratch, row: usize, mut from: u32) -> u64 {
         let boundary = self.graph.num_detectors() as u32;
+        let n = self.graph.num_detectors() + 1;
+        let pred = &scratch.pred[row * n..(row + 1) * n];
         let mut mask = 0u64;
-        while paths.pred[from as usize] != u32::MAX {
-            let e = &self.graph.edges()[paths.pred[from as usize] as usize];
+        while pred[from as usize] != u32::MAX {
+            let e = &self.graph.edges()[pred[from as usize] as usize];
             mask ^= e.observables;
             let next = if e.u == from {
                 e.v.unwrap_or(boundary)
@@ -140,7 +186,7 @@ impl MatchingDecoder {
                 break;
             }
             from = next;
-            if paths.pred[from as usize] == u32::MAX {
+            if pred[from as usize] == u32::MAX {
                 break;
             }
             if from == boundary {
@@ -150,30 +196,91 @@ impl MatchingDecoder {
         mask
     }
 
-    /// Decodes exactly (if within the cap) or greedily.
+    /// Decodes with a fresh scratch; prefer
+    /// [`MatchingDecoder::decode_into`] in loops.
     pub fn decode(&self, defects: &[u32]) -> u64 {
+        self.decode_into(defects, &mut MatchScratch::default())
+    }
+
+    /// Decodes exactly (if within the cap) or greedily, reusing `scratch`.
+    pub fn decode_into(&self, defects: &[u32], scratch: &mut MatchScratch) -> u64 {
         let k = defects.len();
         if k == 0 {
             return 0;
         }
-        let paths: Vec<ShortestPaths> = defects.iter().map(|&d| self.dijkstra(d)).collect();
+        let n = self.graph.num_detectors() + 1;
         let boundary = self.graph.num_detectors();
-        // Pair costs and boundary costs.
-        let pair = |i: usize, j: usize| paths[i].dist[defects[j] as usize];
-        let bnd = |i: usize| paths[i].dist[boundary];
+        if scratch.dist.len() < k * n {
+            scratch.dist.resize(k * n, f64::INFINITY);
+            scratch.pred.resize(k * n, u32::MAX);
+        }
+        scratch.is_target.clear();
+        scratch.is_target.resize(n, false);
+        scratch.is_target[boundary] = true;
+        for &d in defects {
+            scratch.is_target[d as usize] = true;
+        }
+        // Distinct targets: boundary + distinct defects (duplicates in the
+        // syndrome would otherwise make the early-exit count unreachable).
+        let targets = 1 + scratch.is_target[..boundary].iter().filter(|&&t| t).count();
+        for (row, &d) in defects.iter().enumerate() {
+            self.dijkstra(d, row, targets, scratch);
+        }
 
-        let pairing = if k <= self.max_exact_defects {
-            exact_pairing(k, &pair, &bnd)
-        } else {
-            greedy_pairing(k, &pair, &bnd)
-        };
+        // Partition defects into independent components: i and j can only
+        // end up paired in a min-weight solution when pairing beats sending
+        // both to the boundary. The bitmask DP then runs per component, so
+        // its 2^k cost scales with the largest interacting cluster rather
+        // than the whole syndrome.
+        scratch.comp_parent.clear();
+        scratch.comp_parent.extend(0..k as u32);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if pair_cost(scratch, n, defects, i, j)
+                    < boundary_cost(scratch, n, boundary, i)
+                        + boundary_cost(scratch, n, boundary, j)
+                {
+                    comp_union(&mut scratch.comp_parent, i as u32, j as u32);
+                }
+            }
+        }
+        scratch.comp_groups.clear();
+        for i in 0..k as u32 {
+            let root = comp_find(&mut scratch.comp_parent, i);
+            scratch.comp_groups.push((root, i));
+        }
+        scratch.comp_groups.sort_unstable();
+
+        scratch.pairing.clear();
+        let mut g0 = 0usize;
+        while g0 < k {
+            let root = scratch.comp_groups[g0].0;
+            let mut g1 = g0;
+            while g1 < k && scratch.comp_groups[g1].0 == root {
+                g1 += 1;
+            }
+            scratch.comp_rows.clear();
+            for gi in g0..g1 {
+                scratch.comp_rows.push(scratch.comp_groups[gi].1);
+            }
+            let rows = std::mem::take(&mut scratch.comp_rows);
+            if rows.len() <= self.max_exact_defects {
+                exact_pairing(&rows, defects, boundary, n, scratch);
+            } else {
+                greedy_pairing(&rows, defects, boundary, n, scratch);
+            }
+            scratch.comp_rows = rows;
+            g0 = g1;
+        }
 
         let mut mask = 0u64;
-        for m in pairing {
-            match m {
-                Match::Pair(i, j) => mask ^= self.path_observables(&paths[i], defects[j]),
+        for pi in 0..scratch.pairing.len() {
+            match scratch.pairing[pi] {
+                Match::Pair(i, j) => {
+                    mask ^= self.path_observables(scratch, i as usize, defects[j as usize]);
+                }
                 Match::Boundary(i) => {
-                    mask ^= self.path_observables(&paths[i], boundary as u32);
+                    mask ^= self.path_observables(scratch, i as usize, boundary as u32);
                 }
             }
         }
@@ -182,113 +289,158 @@ impl MatchingDecoder {
 }
 
 impl Decoder for MatchingDecoder {
-    fn predict(&self, defects: &[u32]) -> u64 {
-        self.decode(defects)
+    type Scratch = MatchScratch;
+
+    fn predict_into(&self, defects: &[u32], scratch: &mut MatchScratch) -> u64 {
+        self.decode_into(defects, scratch)
     }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Match {
-    Pair(usize, usize),
-    Boundary(usize),
+    Pair(u32, u32),
+    Boundary(u32),
 }
 
-/// Exact min-cost pairing by bitmask DP: every defect pairs with another or
-/// with the boundary.
+/// Cost of pairing defects `i` and `j` via defect `i`'s distance table.
+#[inline]
+fn pair_cost(scratch: &MatchScratch, n: usize, defects: &[u32], i: usize, j: usize) -> f64 {
+    scratch.dist[i * n + defects[j] as usize]
+}
+
+/// Cost of sending defect `i` to the boundary.
+#[inline]
+fn boundary_cost(scratch: &MatchScratch, n: usize, boundary: usize, i: usize) -> f64 {
+    scratch.dist[i * n + boundary]
+}
+
+/// Union-find `find` over the component-partition parents.
+fn comp_find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        let gp = parent[parent[x as usize] as usize];
+        parent[x as usize] = gp;
+        x = gp;
+    }
+    x
+}
+
+/// Union-find `union` over the component-partition parents.
+fn comp_union(parent: &mut [u32], a: u32, b: u32) {
+    let (ra, rb) = (comp_find(parent, a), comp_find(parent, b));
+    if ra != rb {
+        parent[rb as usize] = ra;
+    }
+}
+
+/// Exact min-cost pairing of the defects in `rows` by bitmask DP: every
+/// defect pairs with another or with the boundary. Appends the chosen
+/// pairing (in global defect indices) to `scratch.pairing`.
 fn exact_pairing(
-    k: usize,
-    pair: &dyn Fn(usize, usize) -> f64,
-    bnd: &dyn Fn(usize) -> f64,
-) -> Vec<Match> {
-    let full = (1usize << k) - 1;
-    let mut cost = vec![f64::INFINITY; full + 1];
-    let mut choice: Vec<Match> = vec![Match::Boundary(usize::MAX); full + 1];
-    cost[0] = 0.0;
+    rows: &[u32],
+    defects: &[u32],
+    boundary: usize,
+    n: usize,
+    scratch: &mut MatchScratch,
+) {
+    let g = rows.len();
+    let full = (1usize << g) - 1;
+    scratch.cost.clear();
+    scratch.cost.resize(full + 1, f64::INFINITY);
+    scratch.choice.clear();
+    scratch.choice.resize(full + 1, Match::Boundary(u32::MAX));
+    scratch.cost[0] = 0.0;
     for mask in 1..=full {
         let i = mask.trailing_zeros() as usize;
+        let gi = rows[i] as usize;
         // Option A: defect i to boundary.
         let rest = mask & !(1 << i);
-        let c = cost[rest] + bnd(i);
-        if c < cost[mask] {
-            cost[mask] = c;
-            choice[mask] = Match::Boundary(i);
+        let c = scratch.cost[rest] + boundary_cost(scratch, n, boundary, gi);
+        if c < scratch.cost[mask] {
+            scratch.cost[mask] = c;
+            scratch.choice[mask] = Match::Boundary(i as u32);
         }
         // Option B: defect i paired with j.
         let mut rem = rest;
         while rem != 0 {
             let j = rem.trailing_zeros() as usize;
             rem &= rem - 1;
-            let c = cost[mask & !(1 << i) & !(1 << j)] + pair(i, j);
-            if c < cost[mask] {
-                cost[mask] = c;
-                choice[mask] = Match::Pair(i, j);
+            let c = scratch.cost[mask & !(1 << i) & !(1 << j)]
+                + pair_cost(scratch, n, defects, gi, rows[j] as usize);
+            if c < scratch.cost[mask] {
+                scratch.cost[mask] = c;
+                scratch.choice[mask] = Match::Pair(i as u32, j as u32);
             }
         }
     }
-    let mut out = Vec::new();
     let mut mask = full;
     while mask != 0 {
-        let m = choice[mask];
+        let m = scratch.choice[mask];
         match m {
             Match::Boundary(i) => {
-                out.push(m);
+                scratch.pairing.push(Match::Boundary(rows[i as usize]));
                 mask &= !(1 << i);
             }
             Match::Pair(i, j) => {
-                out.push(m);
+                scratch
+                    .pairing
+                    .push(Match::Pair(rows[i as usize], rows[j as usize]));
                 mask &= !(1 << i);
                 mask &= !(1 << j);
             }
         }
     }
-    out
 }
 
-/// Greedy pairing: repeatedly take the globally cheapest remaining option.
+/// Greedy pairing of the defects in `rows`: repeatedly take the cheapest
+/// remaining option. Appends the chosen pairing (in global defect indices)
+/// to `scratch.pairing`.
 fn greedy_pairing(
-    k: usize,
-    pair: &dyn Fn(usize, usize) -> f64,
-    bnd: &dyn Fn(usize) -> f64,
-) -> Vec<Match> {
-    #[derive(Debug)]
-    struct Option_ {
-        cost: f64,
-        m: Match,
-    }
-    let mut options: Vec<Option_> = Vec::new();
-    for i in 0..k {
-        options.push(Option_ {
-            cost: bnd(i),
-            m: Match::Boundary(i),
-        });
-        for j in (i + 1)..k {
-            options.push(Option_ {
-                cost: pair(i, j),
-                m: Match::Pair(i, j),
-            });
+    rows: &[u32],
+    defects: &[u32],
+    boundary: usize,
+    n: usize,
+    scratch: &mut MatchScratch,
+) {
+    let g = rows.len();
+    scratch.options.clear();
+    for i in 0..g {
+        let gi = rows[i] as usize;
+        scratch.options.push((
+            boundary_cost(scratch, n, boundary, gi),
+            Match::Boundary(i as u32),
+        ));
+        for (j, &rj) in rows.iter().enumerate().skip(i + 1) {
+            scratch.options.push((
+                pair_cost(scratch, n, defects, gi, rj as usize),
+                Match::Pair(i as u32, j as u32),
+            ));
         }
     }
-    options.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(Ordering::Equal));
-    let mut used = vec![false; k];
-    let mut out = Vec::new();
-    for o in options {
-        match o.m {
-            Match::Boundary(i) if !used[i] => {
-                used[i] = true;
-                out.push(o.m);
+    scratch
+        .options
+        .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+    scratch.used.clear();
+    scratch.used.resize(g, false);
+    for oi in 0..scratch.options.len() {
+        let (_, m) = scratch.options[oi];
+        match m {
+            Match::Boundary(i) if !scratch.used[i as usize] => {
+                scratch.used[i as usize] = true;
+                scratch.pairing.push(Match::Boundary(rows[i as usize]));
             }
-            Match::Pair(i, j) if !used[i] && !used[j] => {
-                used[i] = true;
-                used[j] = true;
-                out.push(o.m);
+            Match::Pair(i, j) if !scratch.used[i as usize] && !scratch.used[j as usize] => {
+                scratch.used[i as usize] = true;
+                scratch.used[j as usize] = true;
+                scratch
+                    .pairing
+                    .push(Match::Pair(rows[i as usize], rows[j as usize]));
             }
             _ => {}
         }
     }
-    out
 }
 
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct HeapItem {
     dist: f64,
     node: u32,
@@ -390,6 +542,61 @@ mod tests {
                 "syndrome {syndrome:?}"
             );
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        let d = MatchingDecoder::new(chain(9, 0.01));
+        let mut scratch = MatchScratch::default();
+        for syndrome in [
+            vec![0u32],
+            vec![],
+            vec![1, 2, 6, 7],
+            vec![0, 8],
+            vec![4],
+            vec![2, 3],
+        ] {
+            assert_eq!(
+                d.decode_into(&syndrome, &mut scratch),
+                d.decode(&syndrome),
+                "syndrome {syndrome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn component_decomposition_scales_past_the_exact_cap() {
+        // 30 defects, every one with a cheap private boundary edge and only
+        // expensive links to its neighbours: the partition yields 30
+        // singleton components, so the "exact" path runs even though the
+        // total defect count is far beyond the 2^k DP cap.
+        let n = 30usize;
+        let mut errors = Vec::new();
+        for i in 0..n {
+            errors.push(DemError {
+                probability: 0.2,
+                detectors: vec![i as u32],
+                observables: u64::from(i == 0),
+            });
+        }
+        for i in 0..n - 1 {
+            errors.push(DemError {
+                probability: 1e-6,
+                detectors: vec![i as u32, i as u32 + 1],
+                observables: 0,
+            });
+        }
+        let g = DecodingGraph::from_dem(&DetectorErrorModel {
+            num_detectors: n,
+            num_observables: 1,
+            errors,
+        })
+        .unwrap();
+        let d = MatchingDecoder::new(g);
+        let all: Vec<u32> = (0..n as u32).collect();
+        // Every defect exits through its own boundary edge; only defect 0
+        // carries the observable.
+        assert_eq!(d.predict(&all), 1);
     }
 
     #[test]

@@ -1,8 +1,23 @@
 //! Monte-Carlo logical-error-rate estimation: sample, decode, compare.
+//!
+//! The estimators shard work into fixed-size batches of shots. Each batch
+//! gets an independent RNG stream derived deterministically from the base
+//! seed and the batch index, batches are decoded in parallel with one
+//! decoder scratch per worker thread, and per-batch statistics are merged
+//! in batch order — so for a given seed the returned [`DecodeStats`] are
+//! **bit-identical regardless of thread count**.
+//!
+//! Inside a batch the pipeline is allocation-free per shot: detector bits
+//! are transposed once into a shot-major [`SyndromeBatch`], syndromes are
+//! extracted into a reused buffer by word-skipping scans, and decoding goes
+//! through [`Decoder::predict_into`] with a per-worker scratch.
 
 use crate::Decoder;
-use raa_stabsim::{Circuit, FrameSim};
-use rand::Rng;
+use raa_stabsim::{Circuit, FrameSim, SyndromeBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Accumulated decoding statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,14 +54,282 @@ impl DecodeStats {
     }
 }
 
-/// Batch size used when sampling shots (bounds peak memory).
-const BATCH: usize = 4096;
+/// How per-batch RNG streams derive from the base seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SeedPolicy {
+    /// Batch `i` samples from `StdRng::seed_from_u64(mix(seed, i))`:
+    /// batches are independent, so they can run on any thread in any order
+    /// with results identical to a serial run. The default.
+    #[default]
+    PerBatch,
+    /// All batches consume one sequential RNG stream seeded from the base
+    /// seed, exactly like the historical single-threaded loop. Forces
+    /// serial execution.
+    Sequential,
+}
+
+/// Configuration for the Monte-Carlo estimators.
+#[derive(Debug, Clone)]
+pub struct McConfig {
+    /// Shots per batch (bounds peak memory and sets the early-stop
+    /// granularity). Default 256: small enough that modest shot counts
+    /// parallelize, large enough to amortize per-batch sampling setup.
+    pub batch: usize,
+    /// Worker threads; `0` means rayon's default (all cores).
+    pub threads: usize,
+    /// Per-batch seed derivation.
+    pub seed_policy: SeedPolicy,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self {
+            batch: 256,
+            threads: 0,
+            seed_policy: SeedPolicy::PerBatch,
+        }
+    }
+}
+
+impl McConfig {
+    /// A config decoding serially on the calling thread.
+    pub fn single_threaded() -> Self {
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the worker thread count (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// SplitMix64-style mix of the base seed and a batch index into an
+/// independent stream seed.
+fn batch_seed(seed: u64, batch_index: usize) -> u64 {
+    let mut z = seed ^ (batch_index as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Per-worker pipeline state: decoder scratch plus syndrome buffers.
+struct Worker<D: Decoder> {
+    scratch: D::Scratch,
+    syndromes: SyndromeBatch,
+    defects: Vec<u32>,
+}
+
+impl<D: Decoder> Worker<D> {
+    fn new() -> Self {
+        Self {
+            scratch: D::Scratch::default(),
+            syndromes: SyndromeBatch::default(),
+            defects: Vec::new(),
+        }
+    }
+
+    /// Samples and decodes one batch of shots.
+    fn decode_batch(
+        &mut self,
+        circuit: &Circuit,
+        decoder: &D,
+        shots: usize,
+        rng: &mut StdRng,
+    ) -> DecodeStats {
+        let samples = FrameSim::sample(circuit, shots, rng);
+        samples.transpose_detectors_into(&mut self.syndromes);
+        let mut stats = DecodeStats::default();
+        for s in 0..shots {
+            self.syndromes.fired_into(s, &mut self.defects);
+            let predicted = decoder.predict_into(&self.defects, &mut self.scratch);
+            let actual = samples.observable_mask(s);
+            stats.shots += 1;
+            if predicted != actual {
+                stats.failures += 1;
+            }
+        }
+        stats
+    }
+}
+
+/// Shot count of batch `index` when `shots` total are split into
+/// `batch`-sized batches.
+fn batch_len(shots: usize, batch: usize, index: usize) -> usize {
+    (shots - index * batch).min(batch)
+}
+
+/// Runs `f` on the ambient rayon pool (`threads == 0`) or on an explicitly
+/// sized pool. Building a pool per call is only paid when the caller pins a
+/// thread count — with real rayon that spawns OS threads, which would
+/// otherwise dominate small estimates issued in a loop.
+fn run_on_pool<T>(threads: usize, f: impl FnOnce() -> T + Send) -> T
+where
+    T: Send,
+{
+    if threads == 0 {
+        f()
+    } else {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("building the decode thread pool");
+        pool.install(f)
+    }
+}
+
+/// Estimates the logical error rate of `circuit` under `decoder` from
+/// `shots` Monte-Carlo samples, with explicit seed and configuration.
+///
+/// Work is sharded into batches decoded in parallel; for a given seed the
+/// result is identical for any `cfg.threads` (see [`SeedPolicy`]).
+pub fn logical_error_rate_seeded<D: Decoder + Sync>(
+    circuit: &Circuit,
+    decoder: &D,
+    shots: usize,
+    seed: u64,
+    cfg: &McConfig,
+) -> DecodeStats {
+    assert!(cfg.batch > 0, "batch size must be positive");
+    if shots == 0 {
+        return DecodeStats::default();
+    }
+    let num_batches = shots.div_ceil(cfg.batch);
+
+    if matches!(cfg.seed_policy, SeedPolicy::Sequential) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut worker = Worker::<D>::new();
+        let mut stats = DecodeStats::default();
+        for b in 0..num_batches {
+            let len = batch_len(shots, cfg.batch, b);
+            stats.merge(worker.decode_batch(circuit, decoder, len, &mut rng));
+        }
+        return stats;
+    }
+
+    let per_batch: Vec<DecodeStats> = run_on_pool(cfg.threads, || {
+        (0..num_batches)
+            .into_par_iter()
+            .map_init(Worker::<D>::new, |worker, b| {
+                let mut rng = StdRng::seed_from_u64(batch_seed(seed, b));
+                worker.decode_batch(circuit, decoder, batch_len(shots, cfg.batch, b), &mut rng)
+            })
+            .collect()
+    });
+    let mut stats = DecodeStats::default();
+    for s in per_batch {
+        stats.merge(s);
+    }
+    stats
+}
+
+/// Like [`logical_error_rate_seeded`], but stops early once
+/// `target_failures` failures have been seen (useful deep below threshold
+/// where failures are rare); always decodes at least one batch.
+///
+/// Early stopping is deterministic: the result always covers exactly the
+/// batch prefix `0..=B`, where `B` is the first batch at which the
+/// cumulative failure count reaches the target (or all batches if it never
+/// does). Worker threads poll a relaxed atomic failure counter so they stop
+/// *launching* batches soon after the target is reached; any speculative
+/// batches beyond `B` are discarded, keeping the result independent of
+/// thread count and timing.
+pub fn logical_error_rate_until_seeded<D: Decoder + Sync>(
+    circuit: &Circuit,
+    decoder: &D,
+    max_shots: usize,
+    target_failures: usize,
+    seed: u64,
+    cfg: &McConfig,
+) -> DecodeStats {
+    assert!(cfg.batch > 0, "batch size must be positive");
+    if max_shots == 0 {
+        return DecodeStats::default();
+    }
+    let num_batches = max_shots.div_ceil(cfg.batch);
+
+    if matches!(cfg.seed_policy, SeedPolicy::Sequential) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut worker = Worker::<D>::new();
+        let mut stats = DecodeStats::default();
+        for b in 0..num_batches {
+            let len = batch_len(max_shots, cfg.batch, b);
+            stats.merge(worker.decode_batch(circuit, decoder, len, &mut rng));
+            if stats.failures >= target_failures {
+                break;
+            }
+        }
+        return stats;
+    }
+
+    let mut stats = DecodeStats::default();
+    let mut next = 0usize;
+    while next < num_batches {
+        // One parallel round over the remaining batches. Workers skip (yield
+        // `None` for) batches claimed after the round's failure budget is
+        // spent; since batch indices are claimed in increasing order, the
+        // completed batches of a round form a contiguous prefix up to the
+        // first `None`.
+        let needed = target_failures.saturating_sub(stats.failures);
+        let round_failures = AtomicUsize::new(0);
+        let start = next;
+        let results: Vec<Option<DecodeStats>> = run_on_pool(cfg.threads, || {
+            (start..num_batches)
+                .into_par_iter()
+                .map_init(Worker::<D>::new, |worker, b| {
+                    // The round's first batch always runs, guaranteeing
+                    // progress even if the scheduler claims it last (and
+                    // covering the target_failures == 0 degenerate case,
+                    // where every other batch skips immediately).
+                    if b != start && round_failures.load(Ordering::Relaxed) >= needed {
+                        return None;
+                    }
+                    let mut rng = StdRng::seed_from_u64(batch_seed(seed, b));
+                    let batch_stats = worker.decode_batch(
+                        circuit,
+                        decoder,
+                        batch_len(max_shots, cfg.batch, b),
+                        &mut rng,
+                    );
+                    round_failures.fetch_add(batch_stats.failures, Ordering::Relaxed);
+                    Some(batch_stats)
+                })
+                .collect()
+        });
+        for r in results {
+            let Some(batch_stats) = r else { break };
+            next += 1;
+            stats.merge(batch_stats);
+            if stats.failures >= target_failures {
+                return stats;
+            }
+        }
+        // Round ended without reaching the target inside the completed
+        // prefix: loop to decode the remaining batches (the first skipped
+        // batch always completes next round because the budget resets).
+    }
+    stats
+}
 
 /// Estimates the logical error rate of `circuit` under `decoder`.
 ///
-/// Samples detector data with the Pauli-frame simulator in batches, decodes
-/// each shot's syndrome and counts shots where the decoder's predicted
-/// observable mask differs from the actual flips.
+/// Thin wrapper over [`logical_error_rate_seeded`]: draws a base seed from
+/// `rng` and runs with the default [`McConfig`] (parallel, 256-shot
+/// batches). For explicit thread/batch control use the seeded variant.
 ///
 /// # Example
 ///
@@ -73,59 +356,35 @@ const BATCH: usize = 4096;
 /// // Distance-3 repetition code at p = 0.05: roughly 3 p^2 ≈ 0.007.
 /// assert!(stats.logical_error_rate() < 0.03);
 /// ```
-pub fn logical_error_rate<D: Decoder, R: Rng>(
+pub fn logical_error_rate<D: Decoder + Sync, R: Rng>(
     circuit: &Circuit,
     decoder: &D,
     shots: usize,
     rng: &mut R,
 ) -> DecodeStats {
-    let mut stats = DecodeStats::default();
-    let mut remaining = shots;
-    while remaining > 0 {
-        let batch = remaining.min(BATCH);
-        let samples = FrameSim::sample(circuit, batch, rng);
-        for s in 0..batch {
-            let syndrome = samples.fired_detectors(s);
-            let predicted = decoder.predict(&syndrome);
-            let actual = samples.observable_mask(s);
-            stats.shots += 1;
-            if predicted != actual {
-                stats.failures += 1;
-            }
-        }
-        remaining -= batch;
-    }
-    stats
+    let seed = rng.random::<u64>();
+    logical_error_rate_seeded(circuit, decoder, shots, seed, &McConfig::default())
 }
 
 /// Like [`logical_error_rate`], but stops early once `target_failures`
-/// failures have been seen (useful deep below threshold where failures are
-/// rare); always decodes at least one batch.
-pub fn logical_error_rate_until<D: Decoder, R: Rng>(
+/// failures have been seen. Thin wrapper over
+/// [`logical_error_rate_until_seeded`] with the default [`McConfig`].
+pub fn logical_error_rate_until<D: Decoder + Sync, R: Rng>(
     circuit: &Circuit,
     decoder: &D,
     max_shots: usize,
     target_failures: usize,
     rng: &mut R,
 ) -> DecodeStats {
-    let mut stats = DecodeStats::default();
-    while stats.shots < max_shots {
-        let batch = (max_shots - stats.shots).min(BATCH);
-        let samples = FrameSim::sample(circuit, batch, rng);
-        for s in 0..batch {
-            let syndrome = samples.fired_detectors(s);
-            let predicted = decoder.predict(&syndrome);
-            let actual = samples.observable_mask(s);
-            stats.shots += 1;
-            if predicted != actual {
-                stats.failures += 1;
-            }
-        }
-        if stats.failures >= target_failures {
-            break;
-        }
-    }
-    stats
+    let seed = rng.random::<u64>();
+    logical_error_rate_until_seeded(
+        circuit,
+        decoder,
+        max_shots,
+        target_failures,
+        seed,
+        &McConfig::default(),
+    )
 }
 
 #[cfg(test)]
@@ -135,8 +394,6 @@ mod tests {
     use crate::matching::MatchingDecoder;
     use crate::unionfind::UnionFindDecoder;
     use raa_stabsim::{DetectorErrorModel, MeasRecord};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// d-distance bit-flip repetition code memory, `rounds` rounds.
     fn repetition(d: usize, rounds: usize, p: f64) -> Circuit {
@@ -158,10 +415,7 @@ mod tests {
                 if round == 0 {
                     c.detector(&[MeasRecord::back(n_anc - i)]);
                 } else {
-                    c.detector(&[
-                        MeasRecord::back(n_anc - i),
-                        MeasRecord::back(2 * n_anc - i),
-                    ]);
+                    c.detector(&[MeasRecord::back(n_anc - i), MeasRecord::back(2 * n_anc - i)]);
                 }
             }
         }
@@ -192,6 +446,7 @@ mod tests {
         let c = repetition(3, 2, 0.0);
         let stats = logical_error_rate(&c, &uf(&c), 500, &mut StdRng::seed_from_u64(1));
         assert_eq!(stats.failures, 0);
+        assert_eq!(stats.shots, 500);
     }
 
     #[test]
@@ -234,15 +489,107 @@ mod tests {
     #[test]
     fn early_stop_honours_failure_target() {
         let c = repetition(3, 2, 0.2);
-        let stats = logical_error_rate_until(
-            &c,
-            &uf(&c),
-            1_000_000,
-            10,
-            &mut StdRng::seed_from_u64(5),
-        );
+        let stats =
+            logical_error_rate_until(&c, &uf(&c), 1_000_000, 10, &mut StdRng::seed_from_u64(5));
         assert!(stats.failures >= 10);
         assert!(stats.shots < 1_000_000);
+    }
+
+    #[test]
+    fn identical_stats_across_thread_counts() {
+        // The acceptance contract of the parallel pipeline: for a fixed
+        // seed, DecodeStats are bit-identical for 1 vs N threads.
+        let c = repetition(5, 4, 0.05);
+        let d = uf(&c);
+        let seed = 0xC0FFEE;
+        let base =
+            logical_error_rate_seeded(&c, &d, 10_000, seed, &McConfig::default().with_threads(1));
+        for threads in [2usize, 4, 8] {
+            let multi = logical_error_rate_seeded(
+                &c,
+                &d,
+                10_000,
+                seed,
+                &McConfig::default().with_threads(threads),
+            );
+            assert_eq!(base, multi, "threads = {threads}");
+        }
+        assert_eq!(base.shots, 10_000);
+        assert!(base.failures > 0, "p = 5% should produce failures");
+    }
+
+    #[test]
+    fn identical_early_stop_across_thread_counts() {
+        let c = repetition(3, 3, 0.15);
+        let d = uf(&c);
+        let seed = 0xBADC0DE;
+        let base = logical_error_rate_until_seeded(
+            &c,
+            &d,
+            200_000,
+            25,
+            seed,
+            &McConfig::default().with_threads(1),
+        );
+        for threads in [3usize, 7] {
+            let multi = logical_error_rate_until_seeded(
+                &c,
+                &d,
+                200_000,
+                25,
+                seed,
+                &McConfig::default().with_threads(threads),
+            );
+            assert_eq!(base, multi, "threads = {threads}");
+        }
+        assert!(base.failures >= 25);
+        assert!(base.shots < 200_000);
+    }
+
+    #[test]
+    fn zero_failure_target_still_decodes_one_batch() {
+        let c = repetition(3, 2, 0.1);
+        let d = uf(&c);
+        let cfg = McConfig::default().with_threads(4);
+        let stats = logical_error_rate_until_seeded(&c, &d, 100_000, 0, 1, &cfg);
+        assert_eq!(stats.shots, cfg.batch);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_totals() {
+        let c = repetition(3, 2, 0.1);
+        let d = uf(&c);
+        for batch in [1usize, 7, 64, 1000] {
+            let stats = logical_error_rate_seeded(
+                &c,
+                &d,
+                1_000,
+                42,
+                &McConfig::default().with_batch(batch),
+            );
+            assert_eq!(stats.shots, 1_000, "batch = {batch}");
+        }
+    }
+
+    #[test]
+    fn sequential_policy_matches_single_stream() {
+        // Sequential policy must consume one RNG stream exactly like the
+        // historical loop, regardless of the requested thread count.
+        let c = repetition(3, 3, 0.08);
+        let d = uf(&c);
+        let cfg_a = McConfig {
+            seed_policy: SeedPolicy::Sequential,
+            threads: 1,
+            ..McConfig::default()
+        };
+        let cfg_b = McConfig {
+            seed_policy: SeedPolicy::Sequential,
+            threads: 8,
+            ..McConfig::default()
+        };
+        let a = logical_error_rate_seeded(&c, &d, 5_000, 7, &cfg_a);
+        let b = logical_error_rate_seeded(&c, &d, 5_000, 7, &cfg_b);
+        assert_eq!(a, b);
     }
 
     #[test]

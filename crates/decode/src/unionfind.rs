@@ -7,9 +7,16 @@
 //! decoder for the paper's transversal-circuit simulations; the paper notes
 //! (§III.4, Fig. 13a) that cheaper-but-less-accurate decoders simply show up
 //! as a larger decoding factor α.
+//!
+//! Growth is frontier-driven: each odd cluster carries the list of edges on
+//! its boundary and only those edges are visited per growth round, so the
+//! cost of a decode scales with the grown region rather than with the whole
+//! graph. All working state lives in a reusable [`UfScratch`], making the
+//! steady-state decode loop allocation-free.
 
 use crate::graph::DecodingGraph;
 use crate::Decoder;
+use std::collections::VecDeque;
 
 /// Outcome of a union–find decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +26,144 @@ pub struct UnionFindOutcome {
     /// Whether peeling fully resolved every defect (it should whenever the
     /// graph connects all detectors to the boundary).
     pub converged: bool,
+}
+
+/// Maximum quantized weight; growth iterations scale with this.
+const WEIGHT_QUANTA: f64 = 32.0;
+
+const NONE: u32 = u32::MAX;
+
+/// Reusable working state for [`UnionFindDecoder`].
+///
+/// Construct with `Default::default()`; the first decode sizes every buffer
+/// to the decoder's graph and later decodes reuse the capacity. One scratch
+/// serves one decoder at a time (sizes adapt automatically if reused across
+/// decoders of different shapes).
+#[derive(Debug, Clone, Default)]
+pub struct UfScratch {
+    // Union-find forest over detector nodes + virtual boundary node.
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Root-indexed: parity of defect count in the cluster.
+    parity: Vec<bool>,
+    /// Root-indexed: whether the cluster touches the boundary node.
+    boundary: Vec<bool>,
+    /// Root-indexed: frontier edge list of the cluster.
+    frontier: Vec<Vec<u32>>,
+    /// Per-edge accumulated growth.
+    growth: Vec<u32>,
+    /// Per-edge solid flag.
+    solid: Vec<bool>,
+    /// Solidified edge indices, in solidification order (drives peeling).
+    solid_edges: Vec<u32>,
+    /// Per-node: whether the node's incident edges were already added to a
+    /// cluster frontier.
+    seeded: Vec<bool>,
+    /// Roots of clusters that may still be active.
+    active: Vec<u32>,
+    /// Scratch for the next round's active list.
+    next_active: Vec<u32>,
+    /// Edges that reached their weight this round.
+    to_merge: Vec<u32>,
+    // Peeling state.
+    defect: Vec<bool>,
+    visited: Vec<bool>,
+    /// BFS visit order of (node, incoming edge).
+    order: Vec<(u32, u32)>,
+    queue: VecDeque<u32>,
+    /// Linked-list adjacency over solid edges: per-node head into `adj_*`.
+    adj_head: Vec<u32>,
+    adj_next: Vec<u32>,
+    adj_edge: Vec<u32>,
+}
+
+impl UfScratch {
+    /// Resets and (re)sizes the scratch for a graph with `num_nodes` nodes
+    /// (detectors + boundary) and `num_edges` edges.
+    fn reset(&mut self, num_nodes: usize, num_edges: usize) {
+        self.parent.clear();
+        self.parent.extend(0..num_nodes as u32);
+        self.rank.clear();
+        self.rank.resize(num_nodes, 0);
+        self.parity.clear();
+        self.parity.resize(num_nodes, false);
+        self.boundary.clear();
+        self.boundary.resize(num_nodes, false);
+        if self.frontier.len() < num_nodes {
+            self.frontier.resize_with(num_nodes, Vec::new);
+        }
+        for f in &mut self.frontier[..num_nodes] {
+            f.clear();
+        }
+        self.seeded.clear();
+        self.seeded.resize(num_nodes, false);
+        self.growth.clear();
+        self.growth.resize(num_edges, 0);
+        self.solid.clear();
+        self.solid.resize(num_edges, false);
+        self.solid_edges.clear();
+        self.active.clear();
+        self.next_active.clear();
+        self.to_merge.clear();
+        self.defect.clear();
+        self.defect.resize(num_nodes, false);
+        self.visited.clear();
+        self.visited.resize(num_nodes, false);
+        self.order.clear();
+        self.queue.clear();
+        self.adj_head.clear();
+        self.adj_head.resize(num_nodes, NONE);
+        self.adj_next.clear();
+        self.adj_edge.clear();
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Unions the clusters of `a` and `b`, merging parity, boundary flags and
+    /// frontier lists (small list drains into large); returns the new root.
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        if self.rank[big as usize] == self.rank[small as usize] {
+            self.rank[big as usize] += 1;
+        }
+        let parity = self.parity[ra as usize] ^ self.parity[rb as usize];
+        let boundary = self.boundary[ra as usize] | self.boundary[rb as usize];
+        self.parity[big as usize] = parity;
+        self.boundary[big as usize] = boundary;
+        // Merge frontier lists small-into-big without allocating: swap the
+        // shorter one out, drain it into the longer.
+        let (bi, si) = (big as usize, small as usize);
+        if self.frontier[bi].len() < self.frontier[si].len() {
+            self.frontier.swap(bi, si);
+        }
+        let mut donor = std::mem::take(&mut self.frontier[si]);
+        self.frontier[bi].append(&mut donor);
+        self.frontier[si] = donor; // restore the (now empty) allocation
+        big
+    }
+
+    fn push_adj(&mut self, node: u32, edge: u32) {
+        let slot = self.adj_next.len() as u32;
+        self.adj_next.push(self.adj_head[node as usize]);
+        self.adj_edge.push(edge);
+        self.adj_head[node as usize] = slot;
+    }
 }
 
 /// Weighted union–find decoder over a [`DecodingGraph`].
@@ -53,59 +198,6 @@ pub struct UnionFindDecoder {
     int_weights: Vec<u32>,
 }
 
-/// Maximum quantized weight; growth iterations scale with this.
-const WEIGHT_QUANTA: f64 = 32.0;
-
-struct Dsu {
-    parent: Vec<u32>,
-    rank: Vec<u8>,
-    /// Root-indexed: parity of defect count in the cluster.
-    parity: Vec<bool>,
-    /// Root-indexed: whether the cluster touches the boundary node.
-    boundary: Vec<bool>,
-}
-
-impl Dsu {
-    fn new(n: usize) -> Self {
-        Self {
-            parent: (0..n as u32).collect(),
-            rank: vec![0; n],
-            parity: vec![false; n],
-            boundary: vec![false; n],
-        }
-    }
-
-    fn find(&mut self, mut x: u32) -> u32 {
-        while self.parent[x as usize] != x {
-            let gp = self.parent[self.parent[x as usize] as usize];
-            self.parent[x as usize] = gp;
-            x = gp;
-        }
-        x
-    }
-
-    fn union(&mut self, a: u32, b: u32) -> u32 {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra == rb {
-            return ra;
-        }
-        let (big, small) = if self.rank[ra as usize] >= self.rank[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
-        self.parent[small as usize] = big;
-        if self.rank[big as usize] == self.rank[small as usize] {
-            self.rank[big as usize] += 1;
-        }
-        let parity = self.parity[ra as usize] ^ self.parity[rb as usize];
-        let boundary = self.boundary[ra as usize] | self.boundary[rb as usize];
-        self.parity[big as usize] = parity;
-        self.boundary[big as usize] = boundary;
-        big
-    }
-}
-
 impl UnionFindDecoder {
     /// Builds a decoder owning `graph`, quantizing edge weights to at most
     /// 32 growth quanta (minimum 1) for the growth stage.
@@ -129,8 +221,16 @@ impl UnionFindDecoder {
         &self.graph
     }
 
-    /// Decodes a syndrome (the list of fired detectors), reporting convergence.
+    /// Decodes a syndrome with a fresh scratch; prefer
+    /// [`UnionFindDecoder::decode_into`] in loops.
     pub fn decode(&self, defects: &[u32]) -> UnionFindOutcome {
+        self.decode_into(defects, &mut UfScratch::default())
+    }
+
+    /// Decodes a syndrome (the list of fired detectors), reporting
+    /// convergence. All working state lives in `scratch`; steady state
+    /// performs no heap allocation.
+    pub fn decode_into(&self, defects: &[u32], scratch: &mut UfScratch) -> UnionFindOutcome {
         if defects.is_empty() {
             return UnionFindOutcome {
                 observables: 0,
@@ -140,146 +240,201 @@ impl UnionFindDecoder {
         let nd = self.graph.num_detectors();
         let boundary_node = nd as u32;
         let num_nodes = nd + 1;
-        let mut dsu = Dsu::new(num_nodes);
-        dsu.boundary[nd] = true;
-        for &d in defects {
-            let r = dsu.find(d) as usize;
-            dsu.parity[r] = !dsu.parity[r];
-        }
-
         let edges = self.graph.edges();
-        let mut growth = vec![0u32; edges.len()];
-        let mut solid = vec![false; edges.len()];
+        scratch.reset(num_nodes, edges.len());
+        scratch.boundary[nd] = true;
 
-        // Growth stage: unit growth per iteration on edges touching active clusters.
-        let max_iters = (WEIGHT_QUANTA as usize + 1) * num_nodes.max(edges.len()) + 64;
-        for _ in 0..max_iters {
-            // Which clusters are active?
-            let mut any_active = false;
-            let mut to_merge: Vec<usize> = Vec::new();
-            for (i, e) in edges.iter().enumerate() {
-                if solid[i] {
-                    continue;
-                }
-                let ru = dsu.find(e.u);
-                let rv = dsu.find(e.v.unwrap_or(boundary_node));
-                if ru == rv {
-                    // Internal edge of a cluster: irrelevant for growth.
-                    continue;
-                }
-                let active_u = dsu.parity[ru as usize] && !dsu.boundary[ru as usize];
-                let active_v = dsu.parity[rv as usize] && !dsu.boundary[rv as usize];
-                let increments = u32::from(active_u) + u32::from(active_v);
-                if increments == 0 {
-                    continue;
-                }
-                any_active = true;
-                growth[i] += increments;
-                if growth[i] >= self.int_weights[i] {
-                    to_merge.push(i);
+        // Seed odd-parity singleton clusters at the defects. Each defect's
+        // frontier starts as its incident edges.
+        for &d in defects {
+            let r = scratch.find(d) as usize;
+            scratch.parity[r] = !scratch.parity[r];
+            if !scratch.seeded[d as usize] {
+                scratch.seeded[d as usize] = true;
+                scratch.frontier[d as usize].extend_from_slice(self.graph.incident(d));
+            }
+        }
+        for &d in defects {
+            let r = scratch.find(d);
+            if scratch.parity[r as usize] {
+                scratch.active.push(r);
+            }
+        }
+        scratch.active.sort_unstable();
+        scratch.active.dedup();
+
+        // Growth: per round, every edge on an odd non-boundary cluster's
+        // frontier grows by one quantum per active endpoint (all growth is
+        // applied before any merge, matching simultaneous dense growth);
+        // edges reaching their weight solidify and merge their endpoints.
+        loop {
+            scratch.to_merge.clear();
+            let mut grew = false;
+            for ai in 0..scratch.active.len() {
+                let root = scratch.active[ai];
+                // The active list holds valid odd non-boundary roots with
+                // non-empty frontiers (enforced by the refresh below, and by
+                // construction for the initial list).
+                let mut i = 0;
+                while i < scratch.frontier[root as usize].len() {
+                    let ei = scratch.frontier[root as usize][i];
+                    if scratch.solid[ei as usize] {
+                        scratch.frontier[root as usize].swap_remove(i);
+                        continue;
+                    }
+                    let e = &edges[ei as usize];
+                    let ru = scratch.find(e.u);
+                    let rv = scratch.find(e.v.unwrap_or(boundary_node));
+                    if ru == rv {
+                        scratch.frontier[root as usize].swap_remove(i);
+                        continue;
+                    }
+                    grew = true;
+                    scratch.growth[ei as usize] += 1;
+                    if scratch.growth[ei as usize] >= self.int_weights[ei as usize] {
+                        scratch.to_merge.push(ei);
+                    }
+                    i += 1;
                 }
             }
-            for i in to_merge {
-                solid[i] = true;
-                let e = &edges[i];
-                dsu.union(e.u, e.v.unwrap_or(boundary_node));
+            if !grew {
+                break;
             }
-            if !any_active {
+            for ti in 0..scratch.to_merge.len() {
+                let ei = scratch.to_merge[ti];
+                if scratch.solid[ei as usize] {
+                    continue; // both endpoints pushed it this round
+                }
+                let e = &edges[ei as usize];
+                let u = e.u;
+                let v = e.v.unwrap_or(boundary_node);
+                if scratch.find(u) == scratch.find(v) {
+                    continue; // became internal via an earlier merge
+                }
+                scratch.solid[ei as usize] = true;
+                scratch.solid_edges.push(ei);
+                // A node joining its first cluster contributes its incident
+                // edges to the merged frontier (the boundary node has none).
+                for node in [u, v] {
+                    if node != boundary_node && !scratch.seeded[node as usize] {
+                        scratch.seeded[node as usize] = true;
+                        let root = scratch.find(node);
+                        // `node` may already be inside a cluster only if it
+                        // was seeded before, so here it is its own root or a
+                        // fresh member of this merge round's cluster.
+                        scratch.frontier[root as usize]
+                            .extend_from_slice(self.graph.incident(node));
+                    }
+                }
+                scratch.union(u, v);
+            }
+            // Refresh the active list: re-resolve every candidate root and
+            // keep odd, non-boundary clusters that can still grow.
+            let mut candidates = std::mem::take(&mut scratch.active);
+            for &cand in &candidates {
+                let r = scratch.find(cand);
+                if scratch.parity[r as usize]
+                    && !scratch.boundary[r as usize]
+                    && !scratch.frontier[r as usize].is_empty()
+                {
+                    scratch.next_active.push(r);
+                }
+            }
+            candidates.clear();
+            scratch.active = candidates;
+            std::mem::swap(&mut scratch.active, &mut scratch.next_active);
+            scratch.active.sort_unstable();
+            scratch.active.dedup();
+            if scratch.active.is_empty() {
                 break;
             }
         }
 
-        self.peel(defects, &solid)
+        self.peel(defects, scratch)
     }
 
     /// Peeling stage: spanning forest over solid edges, leaves first.
-    fn peel(&self, defects: &[u32], solid: &[bool]) -> UnionFindOutcome {
+    fn peel(&self, defects: &[u32], scratch: &mut UfScratch) -> UnionFindOutcome {
         let nd = self.graph.num_detectors();
         let boundary_node = nd as u32;
-        let num_nodes = nd + 1;
         let edges = self.graph.edges();
 
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
-        for (i, e) in edges.iter().enumerate() {
-            if solid[i] {
-                adj[e.u as usize].push(i as u32);
-                adj[e.v.unwrap_or(boundary_node) as usize].push(i as u32);
-            }
+        // Adjacency restricted to solidified edges.
+        for si in 0..scratch.solid_edges.len() {
+            let ei = scratch.solid_edges[si];
+            let e = &edges[ei as usize];
+            scratch.push_adj(e.u, ei);
+            scratch.push_adj(e.v.unwrap_or(boundary_node), ei);
         }
 
-        let mut defect = vec![false; num_nodes];
         for &d in defects {
-            defect[d as usize] = true;
+            scratch.defect[d as usize] = true;
         }
 
-        let mut visited = vec![false; num_nodes];
         let mut observables = 0u64;
         let mut converged = true;
 
         // Component roots: boundary first so it absorbs parity where possible.
-        let roots = std::iter::once(boundary_node)
-            .chain(defects.iter().copied())
-            .collect::<Vec<_>>();
-        for root in roots {
-            if visited[root as usize] {
+        for root_idx in 0..=defects.len() {
+            let root = if root_idx == 0 {
+                boundary_node
+            } else {
+                defects[root_idx - 1]
+            };
+            if scratch.visited[root as usize] {
                 continue;
             }
-            // BFS recording (node, parent edge) in visit order.
-            let mut order: Vec<(u32, Option<u32>)> = Vec::new();
-            let mut queue = std::collections::VecDeque::new();
-            visited[root as usize] = true;
-            queue.push_back((root, None));
-            while let Some((v, pe)) = queue.pop_front() {
-                order.push((v, pe));
-                for &ei in &adj[v as usize] {
+            // BFS recording (node, incoming edge) in visit order.
+            let order_start = scratch.order.len();
+            scratch.visited[root as usize] = true;
+            scratch.queue.push_back(root);
+            scratch.order.push((root, NONE));
+            while let Some(v) = scratch.queue.pop_front() {
+                let mut slot = scratch.adj_head[v as usize];
+                while slot != NONE {
+                    let ei = scratch.adj_edge[slot as usize];
                     let e = &edges[ei as usize];
                     let other = if e.u == v {
                         e.v.unwrap_or(boundary_node)
-                    } else if e.v.unwrap_or(boundary_node) == v {
-                        e.u
                     } else {
-                        continue;
+                        e.u
                     };
-                    if !visited[other as usize] {
-                        visited[other as usize] = true;
-                        queue.push_back((other, Some(ei)));
+                    if !scratch.visited[other as usize] {
+                        scratch.visited[other as usize] = true;
+                        scratch.queue.push_back(other);
+                        scratch.order.push((other, ei));
                     }
+                    slot = scratch.adj_next[slot as usize];
                 }
             }
-            // Peel leaves-first (reverse BFS order).
-            // Track each node's parent to toggle its defect.
-            let mut parent_of = vec![u32::MAX; num_nodes];
-            for &(v, pe) in &order {
-                if let Some(ei) = pe {
+            // Peel leaves-first (reverse BFS order), toggling the parent's
+            // defect and accumulating observable flips on used edges.
+            for oi in (order_start..scratch.order.len()).rev() {
+                let (v, ei) = scratch.order[oi];
+                if ei == NONE {
+                    // Root: leftover defect must be absorbed by the boundary.
+                    if scratch.defect[v as usize] && v != boundary_node {
+                        converged = false;
+                    }
+                    continue;
+                }
+                if scratch.defect[v as usize] {
+                    scratch.defect[v as usize] = false;
                     let e = &edges[ei as usize];
                     let p = if e.u == v {
                         e.v.unwrap_or(boundary_node)
                     } else {
                         e.u
                     };
-                    parent_of[v as usize] = p;
-                }
-            }
-            for &(v, pe) in order.iter().rev() {
-                let Some(ei) = pe else {
-                    // Root: leftover defect must be absorbed by the boundary.
-                    if defect[v as usize] && v != boundary_node {
-                        converged = false;
-                    }
-                    continue;
-                };
-                if defect[v as usize] {
-                    defect[v as usize] = false;
-                    let p = parent_of[v as usize];
                     if p != boundary_node {
-                        defect[p as usize] = !defect[p as usize];
+                        scratch.defect[p as usize] = !scratch.defect[p as usize];
                     }
-                    observables ^= edges[ei as usize].observables;
+                    observables ^= e.observables;
                 }
             }
         }
         // Any defect never reached by solid edges: isolated failure.
-        if defect.iter().take(nd).any(|&d| d) {
+        if scratch.defect[..nd].iter().any(|&d| d) {
             converged = false;
         }
         UnionFindOutcome {
@@ -290,8 +445,10 @@ impl UnionFindDecoder {
 }
 
 impl Decoder for UnionFindDecoder {
-    fn predict(&self, defects: &[u32]) -> u64 {
-        self.decode(defects).observables
+    type Scratch = UfScratch;
+
+    fn predict_into(&self, defects: &[u32], scratch: &mut UfScratch) -> u64 {
+        self.decode_into(defects, scratch).observables
     }
 }
 
@@ -419,5 +576,61 @@ mod tests {
         let d = UnionFindDecoder::new(g);
         let out = d.decode(&[1]);
         assert!(!out.converged);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        // Decoding different syndromes through one scratch gives the same
+        // answers as fresh scratches every time.
+        let d = UnionFindDecoder::new(chain_graph(0.01));
+        let syndromes: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![],
+            vec![0, 1],
+            vec![2],
+            vec![0, 1, 2],
+            vec![1],
+            vec![0, 2],
+        ];
+        let mut scratch = UfScratch::default();
+        for s in &syndromes {
+            let reused = d.decode_into(s, &mut scratch);
+            let fresh = d.decode(s);
+            assert_eq!(reused, fresh, "syndrome {s:?}");
+        }
+    }
+
+    #[test]
+    fn long_chain_far_defects() {
+        // Two far-apart defects on a long chain must both resolve (via
+        // boundaries or an internal path) with frontier-driven growth.
+        let n = 40usize;
+        let mut errors = vec![DemError {
+            probability: 0.01,
+            detectors: vec![0],
+            observables: 1,
+        }];
+        for i in 0..n - 1 {
+            errors.push(DemError {
+                probability: 0.01,
+                detectors: vec![i as u32, i as u32 + 1],
+                observables: 0,
+            });
+        }
+        errors.push(DemError {
+            probability: 0.01,
+            detectors: vec![n as u32 - 1],
+            observables: 0,
+        });
+        let g = DecodingGraph::from_dem(&DetectorErrorModel {
+            num_detectors: n,
+            num_observables: 1,
+            errors,
+        })
+        .unwrap();
+        let d = UnionFindDecoder::new(g);
+        let out = d.decode(&[1, 38]);
+        assert!(out.converged);
+        assert_eq!(out.observables, 1, "each defect exits its nearest boundary");
     }
 }

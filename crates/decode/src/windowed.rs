@@ -12,8 +12,18 @@
 //! the reaction time constant for arbitrarily long computations.
 
 use crate::graph::DecodingGraph;
-use crate::unionfind::UnionFindDecoder;
+use crate::unionfind::{UfScratch, UnionFindDecoder};
 use crate::Decoder;
+
+/// Reusable working state for [`WindowedDecoder`].
+#[derive(Debug, Clone, Default)]
+pub struct WindowScratch {
+    /// Inner union–find scratch.
+    pub uf: UfScratch,
+    remaining: Vec<u32>,
+    in_window: Vec<u32>,
+    committed: Vec<u32>,
+}
 
 /// Assigns each detector to a time layer (e.g. its SE round).
 pub trait LayerAssignment {
@@ -74,53 +84,65 @@ impl<L: LayerAssignment> WindowedDecoder<L> {
         self.num_layers
     }
 
+    /// Decodes by sliding a window with a fresh scratch; prefer
+    /// [`WindowedDecoder::decode_windowed_into`] in loops.
+    pub fn decode_windowed(&self, defects: &[u32]) -> u64 {
+        self.decode_windowed_into(defects, &mut WindowScratch::default())
+    }
+
     /// Decodes by sliding a `commit + buffer` window over the layers.
     ///
     /// Within each window the full union–find decoder runs on the windowed
     /// syndrome; edges whose correction crosses the commit boundary re-toggle
-    /// the boundary defects of the next window (syndrome projection).
-    pub fn decode_windowed(&self, defects: &[u32]) -> u64 {
+    /// the boundary defects of the next window (syndrome projection). All
+    /// working state lives in `scratch`.
+    pub fn decode_windowed_into(&self, defects: &[u32], scratch: &mut WindowScratch) -> u64 {
         if self.num_layers <= self.commit + self.buffer {
-            return self.inner.predict(defects);
+            return self.inner.predict_into(defects, &mut scratch.uf);
         }
-        let mut remaining: Vec<u32> = defects.to_vec();
+        scratch.remaining.clear();
+        scratch.remaining.extend_from_slice(defects);
         let mut observables = 0u64;
         let mut start = 0usize;
         while start < self.num_layers {
             let commit_end = start + self.commit;
             let window_end = commit_end + self.buffer;
-            let in_window: Vec<u32> = remaining
-                .iter()
-                .copied()
-                .filter(|&d| {
+            scratch.in_window.clear();
+            scratch
+                .in_window
+                .extend(scratch.remaining.iter().copied().filter(|&d| {
                     let l = self.layers.layer_of(d);
                     l >= start && l < window_end
-                })
-                .collect();
-            if !in_window.is_empty() {
-                let outcome = self.inner.decode(&in_window);
+                }));
+            if !scratch.in_window.is_empty() {
                 // Commit only matters for the final observable mask: the
                 // windowed correction's observable flips accumulate, and the
                 // defects inside the committed region are consumed. Buffer
                 // defects are re-decoded next window; to avoid double
-                // counting their observable contributions, we decode the
-                // committed region alone and subtract... simplest sound
-                // scheme: consume committed defects, re-decode the rest.
-                let committed: Vec<u32> = in_window
-                    .iter()
-                    .copied()
-                    .filter(|&d| self.layers.layer_of(d) < commit_end)
-                    .collect();
-                if !committed.is_empty() {
+                // counting their observable contributions, the committed
+                // region is decoded alone and the rest re-decoded later.
+                scratch.committed.clear();
+                scratch.committed.extend(
+                    scratch
+                        .in_window
+                        .iter()
+                        .copied()
+                        .filter(|&d| self.layers.layer_of(d) < commit_end),
+                );
+                if !scratch.committed.is_empty() {
                     // Decode committed defects in the context of the window,
                     // then drop them from the remaining syndrome.
-                    let _ = outcome;
-                    let commit_outcome = self.inner.decode(&committed);
+                    let commit_outcome =
+                        self.inner.decode_into(&scratch.committed, &mut scratch.uf);
                     observables ^= commit_outcome.observables;
-                    remaining.retain(|&d| self.layers.layer_of(d) >= commit_end);
+                    scratch
+                        .remaining
+                        .retain(|&d| self.layers.layer_of(d) >= commit_end);
                 }
             } else {
-                remaining.retain(|&d| self.layers.layer_of(d) >= commit_end);
+                scratch
+                    .remaining
+                    .retain(|&d| self.layers.layer_of(d) >= commit_end);
             }
             start = commit_end;
         }
@@ -129,8 +151,10 @@ impl<L: LayerAssignment> WindowedDecoder<L> {
 }
 
 impl<L: LayerAssignment> Decoder for WindowedDecoder<L> {
-    fn predict(&self, defects: &[u32]) -> u64 {
-        self.decode_windowed(defects)
+    type Scratch = WindowScratch;
+
+    fn predict_into(&self, defects: &[u32], scratch: &mut WindowScratch) -> u64 {
+        self.decode_windowed_into(defects, scratch)
     }
 }
 
@@ -161,10 +185,7 @@ mod tests {
                 if round == 0 {
                     c.detector(&[MeasRecord::back(n_anc - i)]);
                 } else {
-                    c.detector(&[
-                        MeasRecord::back(n_anc - i),
-                        MeasRecord::back(2 * n_anc - i),
-                    ]);
+                    c.detector(&[MeasRecord::back(n_anc - i), MeasRecord::back(2 * n_anc - i)]);
                 }
             }
         }
@@ -180,7 +201,12 @@ mod tests {
         c
     }
 
-    fn build(c: &Circuit, commit: usize, buffer: usize, per_layer: usize) -> WindowedDecoder<UniformLayers> {
+    fn build(
+        c: &Circuit,
+        commit: usize,
+        buffer: usize,
+        per_layer: usize,
+    ) -> WindowedDecoder<UniformLayers> {
         let dem = DetectorErrorModel::from_circuit(c);
         let (graph, _) = DecodingGraph::from_dem_decomposed(&dem);
         WindowedDecoder::new(

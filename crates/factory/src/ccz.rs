@@ -103,8 +103,7 @@ impl CczFactory {
     /// (Eq. 4 per CNOT at the context's distance; the paper treats these as
     /// negligible thanks to the inner surface-code protection).
     pub fn clifford_error(ctx: &ArchContext) -> f64 {
-        FACTORY_CNOTS as f64
-            * logical::cnot_error(&ctx.error, ctx.distance, ctx.cnots_per_round)
+        FACTORY_CNOTS as f64 * logical::cnot_error(&ctx.error, ctx.distance, ctx.cnots_per_round)
     }
 
     /// Total output error per |CCZ⟩: exact [[8,3,2]] enumeration plus the

@@ -118,6 +118,9 @@ mod tests {
             pts[0].volume_per_ccz.unwrap(),
             pts[1].volume_per_ccz.unwrap(),
         );
-        assert!(v16 > v1, "16 rounds/CNOT {v16} should cost more than 1 {v1}");
+        assert!(
+            v16 > v1,
+            "16 rounds/CNOT {v16} should cost more than 1 {v1}"
+        );
     }
 }

@@ -33,8 +33,8 @@ pub fn ghz_fanout(ctx: &ArchContext, m: u32, spacing: f64) -> FanoutCost {
     let hop = motion::move_time_sites(&ctx.physical, spacing * f64::from(ctx.distance));
     // Two CX layers for GHZ prep + one transversal CX to targets, each with
     // a short hop and an SE round; helper and chain measurements pipeline.
-    let seconds = 3.0 * (hop + cycle.transversal_step(1.0 / ctx.cnots_per_round))
-        + ctx.physical.measure_time;
+    let seconds =
+        3.0 * (hop + cycle.transversal_step(1.0 / ctx.cnots_per_round)) + ctx.physical.measure_time;
     let ghz_patches = f64::from(m) * 1.5 / spacing;
     let per_round = logical::error_per_qubit_round(&ctx.error, ctx.distance, ctx.cnots_per_round);
     let logical_error = (ghz_patches + f64::from(m)) * 3.0 * per_round;

@@ -125,10 +125,8 @@ impl LookupTable {
     /// `ghz_spacing · d` sites (GHZ qubits into place, next stage's prep
     /// moving behind it) — measurements pipeline with the moves.
     pub fn fanout_stage_time(&self, ctx: &ArchContext) -> f64 {
-        let hop = motion::move_time_sites(
-            &ctx.physical,
-            self.ghz_spacing * f64::from(ctx.distance),
-        );
+        let hop =
+            motion::move_time_sites(&ctx.physical, self.ghz_spacing * f64::from(ctx.distance));
         2.0 * hop / f64::from(self.pipeline_copies) + ctx.physical.gate_time
     }
 
@@ -175,8 +173,7 @@ impl LookupTable {
         // ~2 SE rounds (prep + transversal CX + measure).
         let per_round =
             logical::error_per_qubit_round(&ctx.error, ctx.distance, ctx.cnots_per_round);
-        let fanout =
-            self.entries() as f64 * f64::from(self.output_bits) * 2.0 * per_round;
+        let fanout = self.entries() as f64 * f64::from(self.output_bits) * 2.0 * per_round;
         let t_coh = ctx.physical.coherence_time;
         let dt = idle::optimal_idle_period(&ctx.error, ctx.distance, t_coh);
         let idle_rate = idle::idle_error_per_second(&ctx.error, ctx.distance, dt, t_coh);

@@ -50,7 +50,10 @@ impl fmt::Display for AodError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AodError::OrderViolation { first, second } => {
-                write!(f, "tone order violated between atoms at {first} and {second}")
+                write!(
+                    f,
+                    "tone order violated between atoms at {first} and {second}"
+                )
             }
             AodError::Collision { site } => write!(f, "site {site} used twice"),
             AodError::ToneConflict { row, coordinate } => write!(

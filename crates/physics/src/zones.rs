@@ -155,8 +155,18 @@ impl ZoneLayout {
         if self.zones.is_empty() {
             return Footprint::new(0, 0);
         }
-        let min_x = self.zones.iter().map(|z| z.origin.x).min().expect("nonempty");
-        let min_y = self.zones.iter().map(|z| z.origin.y).min().expect("nonempty");
+        let min_x = self
+            .zones
+            .iter()
+            .map(|z| z.origin.x)
+            .min()
+            .expect("nonempty");
+        let min_y = self
+            .zones
+            .iter()
+            .map(|z| z.origin.y)
+            .min()
+            .expect("nonempty");
         let max_x = self
             .zones
             .iter()
@@ -178,7 +188,9 @@ impl ZoneLayout {
     ///
     /// Panics if either name is unknown.
     pub fn transit_time(&self, params: &PhysicalParams, from: &str, to: &str) -> f64 {
-        let a = self.zone(from).unwrap_or_else(|| panic!("unknown zone {from}"));
+        let a = self
+            .zone(from)
+            .unwrap_or_else(|| panic!("unknown zone {from}"));
         let b = self.zone(to).unwrap_or_else(|| panic!("unknown zone {to}"));
         let (ax, ay) = a.centre();
         let (bx, by) = b.centre();

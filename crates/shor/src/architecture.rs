@@ -133,8 +133,7 @@ impl TransversalArchitecture {
             factories: factory_qubits,
         };
         let lookup_phase = accumulator + multiplier + lookup_output + ghz + factory_qubits;
-        let addition_phase =
-            accumulator + multiplier + lookup_output + pipeline + factory_qubits;
+        let addition_phase = accumulator + multiplier + lookup_output + pipeline + factory_qubits;
         let qubits = lookup_phase.max(addition_phase) * (1.0 + ROUTING_OVERHEAD);
 
         // --- Errors ----------------------------------------------------------
@@ -149,8 +148,7 @@ impl TransversalArchitecture {
         let t_coh = self.physical.coherence_time;
         let dt = idle::optimal_idle_period(&self.error, ctx.distance, t_coh);
         let idle_rate = idle::idle_error_per_second(&self.error, ctx.distance, dt, t_coh);
-        let storage_error =
-            f64::from(self.instance.n_bits()) * seconds * idle_rate;
+        let storage_error = f64::from(self.instance.n_bits()) * seconds * idle_rate;
         let errors = ErrorBreakdown {
             ccz: ccz_error,
             gates: gate_error,
@@ -327,7 +325,11 @@ mod tests {
     #[test]
     fn paper_op_times_survive_assembly() {
         let est = TransversalArchitecture::paper().estimate();
-        assert!((est.lookup_seconds - 0.17).abs() < 0.03, "{}", est.lookup_seconds);
+        assert!(
+            (est.lookup_seconds - 0.17).abs() < 0.03,
+            "{}",
+            est.lookup_seconds
+        );
         assert!(
             (est.addition_seconds - 0.28).abs() < 0.03,
             "{}",
@@ -365,7 +367,10 @@ mod tests {
         let s = est.space;
         let lookup_phase =
             s.accumulator + s.multiplier + s.lookup_output + s.ghz_fanout + s.factories;
-        assert!(est.qubits >= lookup_phase, "peak must cover the lookup phase");
+        assert!(
+            est.qubits >= lookup_phase,
+            "peak must cover the lookup phase"
+        );
         let ranked = s.ranked();
         assert_eq!(ranked.len(), 6);
         assert!(ranked[0].1 >= ranked[5].1);

@@ -76,8 +76,7 @@ impl GidneyEkeraModel {
         let counts = operation_counts(&self.instance, &params);
         let adder = CuccaroAdder::new(self.instance.n_bits(), params.r_sep, params.r_pad);
         let lookup = LookupTable::new(params.w_exp + params.w_mul, 1);
-        counts.lookup_additions as f64
-            * (adder.toffoli_count() + lookup.ccz_count()) as f64
+        counts.lookup_additions as f64 * (adder.toffoli_count() + lookup.ccz_count()) as f64
     }
 
     /// Sequential depth in Toffoli layers: each lookup-addition contributes
@@ -85,8 +84,8 @@ impl GidneyEkeraModel {
     pub fn toffoli_depth(&self) -> f64 {
         let params = self.algorithm_params();
         let counts = operation_counts(&self.instance, &params);
-        let per_gadget =
-            f64::from(2 * (params.r_sep + params.r_pad)) + (1u64 << (params.w_exp + params.w_mul)) as f64;
+        let per_gadget = f64::from(2 * (params.r_sep + params.r_pad))
+            + (1u64 << (params.w_exp + params.w_mul)) as f64;
         counts.lookup_additions as f64 * per_gadget
     }
 

@@ -133,10 +133,7 @@ pub struct OperationCounts {
 }
 
 /// Computes the windowed-arithmetic counts for `instance` under `params`.
-pub fn operation_counts(
-    instance: &FactoringInstance,
-    params: &AlgorithmParams,
-) -> OperationCounts {
+pub fn operation_counts(instance: &FactoringInstance, params: &AlgorithmParams) -> OperationCounts {
     params.validate(instance);
     let exp_windows = u64::from(instance.exponent_bits().div_ceil(params.w_exp));
     let mul_windows = u64::from(instance.n_bits().div_ceil(params.w_mul));

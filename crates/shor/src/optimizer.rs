@@ -124,11 +124,7 @@ mod tests {
             p.w_mul
         );
         assert!((48..=192).contains(&p.r_sep), "r_sep = {}", p.r_sep);
-        assert!(
-            (25..=29).contains(&p.distance),
-            "distance = {}",
-            p.distance
-        );
+        assert!((25..=29).contains(&p.distance), "distance = {}", p.distance);
         assert!(result.estimate.factories <= 256);
     }
 

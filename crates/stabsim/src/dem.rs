@@ -85,7 +85,12 @@ impl DetectorErrorModel {
         let mut arbitrary = 0usize;
         for e in &self.errors {
             if e.is_graphlike() {
-                merge_into(&mut merged, e.detectors.clone(), e.observables, e.probability);
+                merge_into(
+                    &mut merged,
+                    e.detectors.clone(),
+                    e.observables,
+                    e.probability,
+                );
                 continue;
             }
             let (components, clean) = decompose(&e.detectors, e.observables, &known);
@@ -482,8 +487,16 @@ mod tests {
             }
         }
         c.m(&[0, 2, 4]);
-        c.detector(&[MeasRecord::back(3), MeasRecord::back(2), MeasRecord::back(5)]);
-        c.detector(&[MeasRecord::back(2), MeasRecord::back(1), MeasRecord::back(4)]);
+        c.detector(&[
+            MeasRecord::back(3),
+            MeasRecord::back(2),
+            MeasRecord::back(5),
+        ]);
+        c.detector(&[
+            MeasRecord::back(2),
+            MeasRecord::back(1),
+            MeasRecord::back(4),
+        ]);
         c.observable_include(0, &[MeasRecord::back(3)]);
         c
     }

@@ -57,17 +57,75 @@ impl DetectorSamples {
     }
 
     /// The indices of detectors that fired in shot `s` (the syndrome).
+    ///
+    /// Allocates per call; hot loops should transpose once with
+    /// [`DetectorSamples::transpose_detectors_into`] and extract syndromes
+    /// with [`SyndromeBatch::fired_into`].
     pub fn fired_detectors(&self, s: usize) -> Vec<u32> {
-        (0..self.num_detectors)
-            .filter(|&d| self.detector(s, d))
-            .map(|d| d as u32)
-            .collect()
+        let mut out = Vec::new();
+        self.fired_detectors_into(s, &mut out);
+        out
     }
 
-    /// Observable bits of shot `s` packed into a u64 mask (≤ 64 observables).
+    /// Writes the indices of detectors that fired in shot `s` into `out`
+    /// (cleared first), reading the detector-major matrix directly.
+    pub fn fired_detectors_into(&self, s: usize, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(
+            (0..self.num_detectors)
+                .filter(|&d| self.detector(s, d))
+                .map(|d| d as u32),
+        );
+    }
+
+    /// Transposes the detector bits into a fresh shot-major
+    /// [`SyndromeBatch`].
+    pub fn transpose_detectors(&self) -> SyndromeBatch {
+        let mut out = SyndromeBatch::default();
+        self.transpose_detectors_into(&mut out);
+        out
+    }
+
+    /// Transposes the detector-major bit matrix into `out`'s shot-major
+    /// layout (64×64 bit-block transpose), so each shot's syndrome occupies
+    /// contiguous words. Reuses `out`'s allocation; steady state performs no
+    /// heap allocation.
+    pub fn transpose_detectors_into(&self, out: &mut SyndromeBatch) {
+        out.num_shots = self.num_shots;
+        out.num_detectors = self.num_detectors;
+        let wps = self.num_detectors.div_ceil(64);
+        out.words_per_shot = wps;
+        out.bits.clear();
+        out.bits.resize(self.num_shots * wps, 0);
+        let mut block = [0u64; 64];
+        // Walk 64-detector × 64-shot tiles of the source matrix.
+        for dw in 0..wps {
+            let d0 = dw * 64;
+            for sw in 0..self.words_per_row {
+                let s0 = sw * 64;
+                for (i, b) in block.iter_mut().enumerate() {
+                    let d = d0 + i;
+                    *b = if d < self.num_detectors {
+                        self.detectors[d * self.words_per_row + sw]
+                    } else {
+                        0
+                    };
+                }
+                transpose64(&mut block);
+                for (j, &b) in block.iter().enumerate() {
+                    let s = s0 + j;
+                    if s < self.num_shots {
+                        out.bits[s * wps + dw] = b;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Observable bits of shot `s` packed into a u64 mask.
     pub fn observable_mask(&self, s: usize) -> u64 {
         let mut mask = 0u64;
-        for o in 0..self.num_observables.min(64) {
+        for o in 0..self.num_observables {
             if self.observable(s, o) {
                 mask |= 1 << o;
             }
@@ -87,6 +145,78 @@ impl DetectorSamples {
             }
         }
         bad as f64 / self.num_shots as f64
+    }
+}
+
+/// Shot-major detector bits: shot `s`'s syndrome is the contiguous words
+/// `bits[s * words_per_shot ..][..words_per_shot]`, bit `d % 64` of word
+/// `d / 64` holding detector `d`.
+///
+/// Produced by [`DetectorSamples::transpose_detectors_into`]; the layout
+/// makes per-shot syndrome extraction a linear scan that skips empty words,
+/// so sparse syndromes (the common case below threshold) cost almost
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SyndromeBatch {
+    num_shots: usize,
+    num_detectors: usize,
+    words_per_shot: usize,
+    bits: Vec<u64>,
+}
+
+impl SyndromeBatch {
+    /// Number of shots.
+    pub fn num_shots(&self) -> usize {
+        self.num_shots
+    }
+
+    /// Number of detectors per shot.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// The value of detector `d` in shot `s`.
+    pub fn detector(&self, s: usize, d: usize) -> bool {
+        assert!(s < self.num_shots && d < self.num_detectors);
+        (self.bits[s * self.words_per_shot + d / 64] >> (d % 64)) & 1 == 1
+    }
+
+    /// Writes the indices of detectors that fired in shot `s` into `out`
+    /// (cleared first), skipping empty words via `u64::trailing_zeros`.
+    /// Performs no heap allocation once `out` has grown to the largest
+    /// syndrome seen.
+    pub fn fired_into(&self, s: usize, out: &mut Vec<u32>) {
+        assert!(s < self.num_shots);
+        out.clear();
+        let row = &self.bits[s * self.words_per_shot..(s + 1) * self.words_per_shot];
+        for (w, &word) in row.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let d = (w * 64) as u32 + word.trailing_zeros();
+                out.push(d);
+                word &= word - 1;
+            }
+        }
+    }
+}
+
+/// In-place transpose of a 64×64 bit matrix (`a[i]` bit `j` ↔ `a[j]` bit
+/// `i`), by recursive block swaps.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0;
+        while k < 64 {
+            if k & j == 0 {
+                let t = ((a[k] >> j) ^ a[k + j]) & m;
+                a[k] ^= t << j;
+                a[k + j] ^= t;
+            }
+            k += 1;
+        }
+        j >>= 1;
+        m ^= m << j;
     }
 }
 
@@ -151,11 +281,7 @@ impl FrameSim {
     }
 
     /// Samples `num_shots` shots of `circuit`, returning detector/observable flips.
-    pub fn sample<R: Rng>(
-        circuit: &Circuit,
-        num_shots: usize,
-        rng: &mut R,
-    ) -> DetectorSamples {
+    pub fn sample<R: Rng>(circuit: &Circuit, num_shots: usize, rng: &mut R) -> DetectorSamples {
         let mut sim = Self::new(circuit.num_qubits() as usize, num_shots);
         for op in circuit.ops() {
             sim.apply(op, rng);
@@ -372,6 +498,13 @@ impl FrameSim {
         let w = self.words;
         let nd = circuit.num_detectors();
         let no = circuit.num_observables();
+        // `observable_mask` packs observables into a u64; enforce the
+        // invariant here, at construction, instead of silently truncating
+        // bits at read time.
+        assert!(
+            no <= 64,
+            "DetectorSamples supports at most 64 observables, circuit declares {no}"
+        );
         let mut detectors = vec![0u64; nd * w];
         let mut observables = vec![0u64; no * w];
         for (d, meas_list) in circuit.detectors().iter().enumerate() {
@@ -402,12 +535,7 @@ impl FrameSim {
 /// Calls `f(hit_index, rng)` for each Bernoulli(p) success among `trials`
 /// independent trials, using geometric skip sampling: expected cost is
 /// O(p · trials) rather than O(trials).
-fn for_each_hit<R: Rng>(
-    p: f64,
-    trials: usize,
-    rng: &mut R,
-    mut f: impl FnMut(usize, &mut R),
-) {
+fn for_each_hit<R: Rng>(p: f64, trials: usize, rng: &mut R, mut f: impl FnMut(usize, &mut R)) {
     if trials == 0 || p <= 0.0 {
         return;
     }
@@ -596,7 +724,10 @@ mod tests {
         let s = FrameSim::sample(&c, shots, &mut rng());
         let rate = (0..shots).filter(|&i| s.detector(i, 0)).count() as f64 / shots as f64;
         let expect = 0.15 * 8.0 / 15.0;
-        assert!((rate - expect).abs() < 0.01, "rate = {rate}, expect {expect}");
+        assert!(
+            (rate - expect).abs() < 0.01,
+            "rate = {rate}, expect {expect}"
+        );
     }
 
     #[test]
@@ -641,6 +772,121 @@ mod tests {
         for_each_hit(0.01, trials, &mut rng(), |_, _| count += 1);
         let rate = count as f64 / trials as f64;
         assert!((rate - 0.01).abs() < 0.001, "rate = {rate}");
+    }
+
+    #[test]
+    fn transpose64_is_a_transpose() {
+        let mut rng = rng();
+        let mut a = [0u64; 64];
+        for w in a.iter_mut() {
+            *w = rng.random();
+        }
+        let original = a;
+        transpose64(&mut a);
+        for (j, &col) in a.iter().enumerate() {
+            for (i, &row) in original.iter().enumerate() {
+                assert_eq!((col >> i) & 1, (row >> j) & 1, "({i}, {j})");
+            }
+        }
+        // Transposing twice is the identity.
+        transpose64(&mut a);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn syndrome_batch_matches_dense_reads_on_sampled_circuit() {
+        // 70 detectors x 100 shots: exercises the ragged tile edges of the
+        // 64x64 block transpose in both dimensions.
+        let mut c = Circuit::new();
+        c.r(&[0]);
+        for _ in 0..70 {
+            c.x_error(&[0], 0.3);
+            c.m(&[0]);
+            c.detector(&[MeasRecord::back(1)]);
+            c.r(&[0]);
+        }
+        let shots = 100;
+        let s = FrameSim::sample(&c, shots, &mut rng());
+        let batch = s.transpose_detectors();
+        assert_eq!(batch.num_shots(), shots);
+        assert_eq!(batch.num_detectors(), 70);
+        let mut sparse = Vec::new();
+        for shot in 0..shots {
+            batch.fired_into(shot, &mut sparse);
+            assert_eq!(sparse, s.fired_detectors(shot), "shot {shot}");
+            for d in 0..70 {
+                assert_eq!(batch.detector(shot, d), s.detector(shot, d));
+            }
+        }
+    }
+
+    mod sparse_extractor_properties {
+        use super::super::{transpose64, SyndromeBatch};
+        use proptest::prelude::*;
+
+        /// Builds a shot-major batch directly from raw words.
+        fn batch_from_words(
+            words: &[u64],
+            num_shots: usize,
+            num_detectors: usize,
+        ) -> SyndromeBatch {
+            let wps = num_detectors.div_ceil(64);
+            let mut bits = vec![0u64; num_shots * wps];
+            let tail = num_detectors % 64;
+            let tail_mask = if tail == 0 { !0u64 } else { (1 << tail) - 1 };
+            for (i, b) in bits.iter_mut().enumerate() {
+                *b = words[i % words.len()];
+                if i % wps == wps - 1 {
+                    *b &= tail_mask;
+                }
+            }
+            SyndromeBatch {
+                num_shots,
+                num_detectors,
+                words_per_shot: wps,
+                bits,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The word-skipping sparse extractor agrees with dense per-bit
+            /// reads on arbitrary bit patterns and ragged sizes.
+            #[test]
+            fn fired_into_agrees_with_dense_bits(
+                words in proptest::collection::vec(any::<u64>(), 1..12),
+                num_shots in 1usize..5,
+                num_detectors in 1usize..200,
+            ) {
+                let batch = batch_from_words(&words, num_shots, num_detectors);
+                let mut fired = Vec::new();
+                for s in 0..num_shots {
+                    batch.fired_into(s, &mut fired);
+                    let dense: Vec<u32> = (0..num_detectors)
+                        .filter(|&d| batch.detector(s, d))
+                        .map(|d| d as u32)
+                        .collect();
+                    prop_assert_eq!(&fired, &dense, "shot {}", s);
+                }
+            }
+
+            /// transpose64 is an involution and a true bit transpose.
+            #[test]
+            fn transpose64_involution(words in proptest::collection::vec(any::<u64>(), 64)) {
+                let mut a = [0u64; 64];
+                a.copy_from_slice(&words);
+                let original = a;
+                transpose64(&mut a);
+                for (j, &col) in a.iter().enumerate() {
+                    for (i, &row) in original.iter().enumerate() {
+                        prop_assert_eq!((col >> i) & 1, (row >> j) & 1);
+                    }
+                }
+                transpose64(&mut a);
+                prop_assert_eq!(a, original);
+            }
+        }
     }
 
     /// Cross-validation: frame sampler statistics agree with the exact

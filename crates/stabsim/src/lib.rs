@@ -50,7 +50,7 @@ pub mod text;
 
 pub use circuit::{Circuit, MeasRecord, OpKind, Operation};
 pub use dem::{DemError, DetectorErrorModel};
-pub use frame::{DetectorSamples, FrameSim};
+pub use frame::{DetectorSamples, FrameSim, SyndromeBatch};
 pub use pauli::{Pauli, PauliString};
 pub use tableau::{MeasureResult, TableauSim};
 pub use text::{parse, to_text, ParseError};

@@ -164,7 +164,7 @@ impl PauliString {
         // Anticommutation count = |X(self) ∩ Z(other)| + |Z(self) ∩ X(other)| (mod 2).
         let a = self.xs.intersection(&other.zs).count();
         let b = self.zs.intersection(&other.xs).count();
-        (a + b) % 2 == 0
+        (a + b).is_multiple_of(2)
     }
 
     /// Number of qubits with a non-identity Pauli.
@@ -261,10 +261,7 @@ mod tests {
         let p = PauliString::from_pairs([(3, Pauli::Y), (1, Pauli::X), (5, Pauli::Z)]);
         assert_eq!(p.weight(), 3);
         let collected: Vec<_> = p.iter().collect();
-        assert_eq!(
-            collected,
-            vec![(1, Pauli::X), (3, Pauli::Y), (5, Pauli::Z)]
-        );
+        assert_eq!(collected, vec![(1, Pauli::X), (3, Pauli::Y), (5, Pauli::Z)]);
         assert_eq!(p.to_string(), "X1·Y3·Z5");
     }
 

@@ -240,9 +240,7 @@ impl TableauSim {
         match p {
             Some(p) => {
                 let value = random_value.unwrap_or(false);
-                let rows: Vec<usize> = (0..2 * n)
-                    .filter(|&r| r != p && self.xr(r, q))
-                    .collect();
+                let rows: Vec<usize> = (0..2 * n).filter(|&r| r != p && self.xr(r, q)).collect();
                 for r in rows {
                     self.rowsum(r, p);
                 }
@@ -470,10 +468,7 @@ impl TableauSim {
             S => op.targets.iter().for_each(|&q| self.s(q as usize)),
             SDag => op.targets.iter().for_each(|&q| self.s_dag(q as usize)),
             SqrtX => op.targets.iter().for_each(|&q| self.sqrt_x(q as usize)),
-            SqrtXDag => op
-                .targets
-                .iter()
-                .for_each(|&q| self.sqrt_x_dag(q as usize)),
+            SqrtXDag => op.targets.iter().for_each(|&q| self.sqrt_x_dag(q as usize)),
             CX => {
                 for c in op.targets.chunks_exact(2) {
                     self.cx(c[0] as usize, c[1] as usize);

@@ -135,10 +135,7 @@ pub fn to_text(circuit: &Circuit) -> String {
         out.push('\n');
         if op.kind.is_measurement() {
             meas_count += op.targets.len();
-            while det_iter
-                .peek()
-                .is_some_and(|&(last, _)| last < meas_count)
-            {
+            while det_iter.peek().is_some_and(|&(last, _)| last < meas_count) {
                 let (_, det_idx) = det_iter.next().expect("peeked");
                 out.push_str("DETECTOR");
                 for &m in circuit.detector_measurements(det_idx) {
@@ -215,13 +212,9 @@ pub fn parse(text: &str) -> Result<Circuit, ParseError> {
             continue;
         }
 
-        let kind =
-            opcode_from(name).ok_or_else(|| err(format!("unknown instruction {name:?}")))?;
+        let kind = opcode_from(name).ok_or_else(|| err(format!("unknown instruction {name:?}")))?;
         let targets: Vec<u32> = parts
-            .map(|t| {
-                t.parse()
-                    .map_err(|e| err(format!("bad target {t:?}: {e}")))
-            })
+            .map(|t| t.parse().map_err(|e| err(format!("bad target {t:?}: {e}"))))
             .collect::<Result<_, _>>()?;
 
         match kind {
@@ -239,7 +232,7 @@ pub fn parse(text: &str) -> Result<Circuit, ParseError> {
                     OpKind::YError => c.y_error(&targets, p),
                     OpKind::Depolarize1 => c.depolarize1(&targets, p),
                     OpKind::Depolarize2 => {
-                        if targets.len() % 2 != 0 {
+                        if !targets.len().is_multiple_of(2) {
                             return Err(err("DEPOLARIZE2 needs an even target count".into()));
                         }
                         let pairs: Vec<(u32, u32)> =
@@ -250,7 +243,7 @@ pub fn parse(text: &str) -> Result<Circuit, ParseError> {
                 };
             }
             k if k.is_two_qubit() => {
-                if targets.len() % 2 != 0 {
+                if !targets.len().is_multiple_of(2) {
                     return Err(err(format!("{name} needs an even target count")));
                 }
                 let pairs: Vec<(u32, u32)> =

@@ -432,10 +432,10 @@ impl PatchCircuitBuilder {
         let nz = self.code.z_plaquettes().len();
         let mut new_x = vec![None; self.code.x_plaquettes().len()];
         let mut new_z = vec![None; nz];
-        for zi in 0..nz {
+        for (zi, nz_slot) in new_z.iter_mut().enumerate() {
             let xi = self.h_map_z_to_x[zi];
             new_x[xi] = self.z_flow[patch][zi].take();
-            new_z[zi] = self.x_flow[patch][xi].take();
+            *nz_slot = self.x_flow[patch][xi].take();
         }
         self.x_flow[patch] = new_x;
         self.z_flow[patch] = new_z;

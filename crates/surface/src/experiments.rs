@@ -166,7 +166,6 @@ impl GhzFanoutExperiment {
             let rows = b.measure_patch(2 * i, Basis::Z);
             target_rows.push(rows);
         }
-        let mut b = b;
         for i in 0..self.targets - 1 {
             let mut meas = target_rows[i].clone();
             meas.extend_from_slice(&target_rows[i + 1]);
@@ -381,8 +380,7 @@ mod tests {
                 basis: Basis::Z,
                 noise: NoiseModel::uniform(p),
             };
-            run_transversal(&exp, DecoderKind::UnionFind, 6_000, &mut rng)
-                .logical_error_rate()
+            run_transversal(&exp, DecoderKind::UnionFind, 6_000, &mut rng).logical_error_rate()
         };
         let slow = rate(0.5); // 2 SE rounds per CNOT: 17 rounds total
         let fast = rate(4.0); // 4 CNOTs per SE round: 3 rounds total

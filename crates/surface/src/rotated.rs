@@ -86,7 +86,11 @@ impl RotatedSurfaceCode {
                     let (cc, rr) = ((x - 1) / 2, (y - 1) / 2);
                     Some((rr * d + cc) as usize)
                 };
-                let present: Vec<(i32, i32)> = corners.iter().copied().filter(|&c| idx(c).is_some()).collect();
+                let present: Vec<(i32, i32)> = corners
+                    .iter()
+                    .copied()
+                    .filter(|&c| idx(c).is_some())
+                    .collect();
                 let keep = match present.len() {
                     4 => true,
                     2 => {

@@ -18,10 +18,7 @@ fn main() {
     ] {
         println!("=== {label} ===");
         println!("  {inst}");
-        println!(
-            "  qubitization steps: {:.2e}",
-            inst.qubitization_steps()
-        );
+        println!("  qubitization steps: {:.2e}", inst.qubitization_steps());
         let est = estimate(&inst, &ctx);
         println!("  {est}");
         println!();

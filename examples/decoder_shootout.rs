@@ -10,13 +10,11 @@
 //! ```
 
 use raa::decode::{
-    mc, BpUnionFindDecoder, DecodingGraph, MatchingDecoder, UniformLayers, UnionFindDecoder,
-    WindowedDecoder,
+    mc, BpUnionFindDecoder, DecodingGraph, MatchingDecoder, McConfig, UniformLayers,
+    UnionFindDecoder, WindowedDecoder,
 };
 use raa::stabsim::DetectorErrorModel;
 use raa::surface::{Basis, MemoryExperiment, NoiseModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
@@ -57,10 +55,16 @@ fn main() {
         2,
     );
 
-    let run = |name: &str, f: &dyn Fn(&mut StdRng) -> mc::DecodeStats| {
-        let mut rng = StdRng::seed_from_u64(99);
+    // Fixed seed + per-batch derived RNG streams: the numbers below are
+    // reproducible and identical for any RAA_THREADS setting.
+    let threads: usize = std::env::var("RAA_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let cfg = McConfig::default().with_threads(threads);
+    let run = |name: &str, f: &dyn Fn(&McConfig) -> mc::DecodeStats| {
         let t0 = Instant::now();
-        let stats = f(&mut rng);
+        let stats = f(&cfg);
         let dt = t0.elapsed().as_secs_f64();
         println!(
             "{name:<22} p_L = {:.5} +- {:.5}   ({:.0} shots/s)",
@@ -70,17 +74,17 @@ fn main() {
         );
     };
 
-    run("union-find", &|rng| {
-        mc::logical_error_rate(&circuit, &uf, shots, rng)
+    run("union-find", &|cfg| {
+        mc::logical_error_rate_seeded(&circuit, &uf, shots, 99, cfg)
     });
-    run("exact matching (MLE)", &|rng| {
-        mc::logical_error_rate(&circuit, &mwpm, shots, rng)
+    run("exact matching (MLE)", &|cfg| {
+        mc::logical_error_rate_seeded(&circuit, &mwpm, shots, 99, cfg)
     });
-    run("BP + union-find", &|rng| {
-        mc::logical_error_rate(&circuit, &bp, shots, rng)
+    run("BP + union-find", &|cfg| {
+        mc::logical_error_rate_seeded(&circuit, &bp, shots, 99, cfg)
     });
-    run("windowed union-find", &|rng| {
-        mc::logical_error_rate(&circuit, &windowed, shots, rng)
+    run("windowed union-find", &|cfg| {
+        mc::logical_error_rate_seeded(&circuit, &windowed, shots, 99, cfg)
     });
 
     println!(

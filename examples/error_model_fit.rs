@@ -13,9 +13,7 @@
 //! factor α and suppression base Λ.
 
 use raa::core::fit::{fit_cnot_model, CnotErrorPoint};
-use raa::surface::{
-    run_transversal, Basis, DecoderKind, NoiseModel, TransversalCnotExperiment,
-};
+use raa::surface::{run_transversal, Basis, DecoderKind, NoiseModel, TransversalCnotExperiment};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -58,8 +56,14 @@ fn main() {
     let fit = fit_cnot_model(&points, 0.1);
     println!();
     println!("Eq. (4) fit:");
-    println!("  alpha  = {:.3}  (paper, MLE decoder at p = 1e-3: ~1/6)", fit.alpha);
-    println!("  Lambda = {:.2}  (paper: ~20 for MLE, 10 assumed for estimates)", fit.lambda);
+    println!(
+        "  alpha  = {:.3}  (paper, MLE decoder at p = 1e-3: ~1/6)",
+        fit.alpha
+    );
+    println!(
+        "  Lambda = {:.2}  (paper: ~20 for MLE, 10 assumed for estimates)",
+        fit.lambda
+    );
     println!("  residual = {:.4}", fit.residual);
     println!();
     println!(

@@ -66,8 +66,7 @@ fn physical_error_rate_coherence() {
     let mut noisy = TransversalArchitecture::paper();
     noisy.error = ErrorModelParams::paper().with_p_phys(2e-3); // Λ = 5
     let (noisy_arch, noisy_est) = noisy.with_optimized_distance(0.08);
-    let (clean_arch, clean_est) =
-        TransversalArchitecture::paper().with_optimized_distance(0.08);
+    let (clean_arch, clean_est) = TransversalArchitecture::paper().with_optimized_distance(0.08);
     assert!(
         noisy_arch.params.distance > clean_arch.params.distance,
         "noisier hardware needs a larger distance: {} vs {}",

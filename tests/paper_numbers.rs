@@ -6,8 +6,7 @@ use raa::core::{logical, ErrorModelParams};
 use raa::factory::CczFactory;
 use raa::physics::{move_time, CycleModel, PhysicalParams};
 use raa::shor::{
-    AlgorithmParams, BeverlandModel, FactoringInstance, GidneyEkeraModel,
-    TransversalArchitecture,
+    AlgorithmParams, BeverlandModel, FactoringInstance, GidneyEkeraModel, TransversalArchitecture,
 };
 use raa::surface::code832;
 
@@ -121,7 +120,13 @@ fn table1_derived_timing() {
 fn table2_parameters() {
     let paper = AlgorithmParams::paper_table2();
     assert_eq!(
-        (paper.w_exp, paper.w_mul, paper.r_sep, paper.r_pad, paper.distance),
+        (
+            paper.w_exp,
+            paper.w_mul,
+            paper.r_sep,
+            paper.r_pad,
+            paper.distance
+        ),
         (3, 4, 96, 43, 27)
     );
     // The paper choice stays within the failure budget at its distance.

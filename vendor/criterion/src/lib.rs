@@ -1,0 +1,325 @@
+//! Offline shim of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a small wall-clock benchmark harness exposing the subset of
+//! criterion's API its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Each benchmark is warmed up briefly, then sampled in adaptively sized
+//! runs; the report prints min / median / mean per-iteration times. Pass a
+//! substring on the command line (as with real criterion) to filter which
+//! benchmarks run.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (shim: informational only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warm_up: Duration,
+    measure: Duration,
+    target_runs: u32,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measure: Duration, target_runs: u32) -> Self {
+        Self {
+            samples: Vec::new(),
+            warm_up,
+            measure,
+            target_runs,
+        }
+    }
+
+    /// Benchmarks `routine`, timing repeated calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters < 3 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters as u32;
+
+        // Sample in runs sized so each run takes ~measure/target_runs.
+        let target_runs = self.target_runs;
+        let run_len = (self.measure.as_nanos() / target_runs as u128)
+            .checked_div(per_iter.as_nanos().max(1))
+            .unwrap_or(1)
+            .clamp(1, 1_000_000) as u32;
+        let deadline = Instant::now() + self.measure;
+        for _ in 0..target_runs {
+            let t0 = Instant::now();
+            for _ in 0..run_len {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / run_len);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`, timing only
+    /// `routine`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warm-up.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up || warm_iters < 3 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            spent += t0.elapsed();
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = spent / warm_iters as u32;
+
+        let target_runs = self.target_runs;
+        let run_len = (self.measure.as_nanos() / target_runs as u128)
+            .checked_div(per_iter.as_nanos().max(1))
+            .unwrap_or(1)
+            .clamp(1, 1_000_000) as u32;
+        let deadline = Instant::now() + self.measure;
+        for _ in 0..target_runs {
+            let mut run_time = Duration::ZERO;
+            for _ in 0..run_len {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                run_time += t0.elapsed();
+            }
+            self.samples.push(run_time / run_len);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{name:<50} min {:>12}  median {:>12}  mean {:>12}",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark registry (shim of `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    warm_up: Duration,
+    measure: Duration,
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries as `<bin> --bench [filter]`; any
+        // non-flag argument is a substring filter, as with real criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Self {
+            filter,
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1500),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher::new(self.warm_up, self.measure, self.sample_size);
+        f(&mut b);
+        b.report(name);
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnOnce(&mut Bencher)) {
+        self.run_one(name.as_ref(), f);
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks reported as `group/name`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        self.criterion.run_one(&full, f);
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in real criterion. Supports both
+/// the positional form and the `name = ...; config = ...; targets = ...`
+/// form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = fast_criterion();
+        c.filter = None;
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = fast_criterion();
+        c.filter = None;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = fast_criterion();
+        c.filter = Some("nomatch".into());
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

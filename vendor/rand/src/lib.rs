@@ -1,0 +1,324 @@
+//! Offline shim of the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *subset* of the rand 0.9 API its code actually uses:
+//!
+//! * [`RngCore`] / [`Rng`] / [`RngExt`] — `random::<T>()`, `random_bool`,
+//!   `random_range` over integer and float ranges;
+//! * [`SeedableRng`] with `seed_from_u64` (SplitMix64 key expansion);
+//! * [`rngs::StdRng`] — xoshiro256++, a small, fast, high-quality PRNG;
+//! * [`rng()`] — a non-deterministically seeded generator for doc examples.
+//!
+//! Determinism contract: `StdRng::seed_from_u64(s)` produces an identical
+//! stream on every platform and every run, which the Monte-Carlo harness
+//! relies on for thread-count-independent results.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types samplable uniformly from an RNG (the shim's `StandardUniform`).
+pub trait UniformSample: Sized {
+    /// Draws one uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl UniformSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable uniformly (the shim's `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Lemire-style widening multiply: unbiased enough for
+                // simulation use (bias < 2^-64 per draw).
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + hi) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = <$t as UniformSample>::sample(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// High-level sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T`.
+    #[inline]
+    fn random<T: UniformSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Range-sampling extension (split out of [`Rng`] in this shim).
+pub trait RngExt: Rng {
+    /// Draws a uniform value from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Constructs the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the RNG from a `u64` via SplitMix64 key expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step: the standard seed-expansion generator.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The shim's standard RNG: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                *w = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            // An all-zero state is a fixed point of xoshiro; perturb it.
+            if s == [0; 4] {
+                s = [0x9E3779B97F4A7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    /// A lazily seeded, non-deterministic generator (shim of `ThreadRng`).
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(pub(crate) StdRng);
+
+    impl RngCore for ThreadRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// Returns a non-deterministically seeded generator (shim of `rand::rng()`).
+pub fn rng() -> rngs::ThreadRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let tid = std::thread::current().id();
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    use std::hash::{Hash, Hasher};
+    (nanos, tid).hash(&mut h);
+    rngs::ThreadRng(rngs::StdRng::seed_from_u64(h.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.random_range(1..4u32);
+            assert!((1..4).contains(&v));
+            let w = r.random_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let f = r.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = r.random_range(0..=3u8);
+            assert!(i <= 3);
+        }
+    }
+
+    #[test]
+    fn range_coverage_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[r.random_range(0..3) as usize] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.1, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bool_probability() {
+        let mut r = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn thread_rng_works() {
+        let mut r = rng();
+        let _: u64 = r.random();
+        let _ = r.random_range(0..10usize);
+    }
+}

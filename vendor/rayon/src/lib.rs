@@ -1,0 +1,397 @@
+//! Offline shim of the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of rayon's API its code uses: `into_par_iter()` on
+//! `Range<usize>` with `map` / `map_init` / `collect::<Vec<_>>()`, plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] /
+//! [`current_num_threads`].
+//!
+//! Scheduling is pull-based: worker threads claim the next index from a
+//! shared atomic counter, so indices are claimed in increasing order and the
+//! set of processed indices is always a contiguous prefix per claim order.
+//! Results are returned in index order regardless of which thread produced
+//! them — callers observe deterministic output for deterministic per-index
+//! work.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel iterators will use on this thread:
+/// an installed pool's size, else `RAYON_NUM_THREADS`, else all cores.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(|t| t.get()) {
+        return n;
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builder for a [`ThreadPool`] (shim: the pool is a thread-count handle;
+/// worker threads are scoped to each parallel call).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; `0` means the global default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Error building a thread pool (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle fixing the parallelism of iterators run under [`install`].
+///
+/// [`install`]: ThreadPool::install
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with this pool's thread count governing parallel iterators.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(Some(self.num_threads)));
+        let out = f();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+}
+
+pub mod iter {
+    use super::*;
+
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// A parallel iterator: indexed work executed across worker threads.
+    ///
+    /// The shim evaluates eagerly on `collect`; `map` and `map_init` build
+    /// composed closures over the index space.
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item: Send;
+
+        /// Number of items.
+        fn len(&self) -> usize;
+
+        /// Whether the iterator is empty.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Produces the item at `index` (called from worker threads).
+        fn item_at(&self, index: usize) -> Self::Item;
+
+        /// Maps each item through `f`.
+        fn map<F, T>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Item) -> T + Sync,
+            T: Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Maps each item through `f` with per-worker state built by `init`.
+        fn map_init<I, S, F, T>(self, init: I, f: F) -> MapInit<Self, I, F>
+        where
+            I: Fn() -> S + Sync,
+            F: Fn(&mut S, Self::Item) -> T + Sync,
+            T: Send,
+        {
+            MapInit {
+                base: self,
+                init,
+                f,
+            }
+        }
+
+        /// Executes the pipeline, returning results in index order.
+        ///
+        /// Adapters with per-worker state (e.g. [`MapInit`]) override this to
+        /// build their state once per worker thread.
+        fn run(self) -> Vec<Self::Item>
+        where
+            Self: Sync,
+        {
+            let this = &self;
+            run_indexed(this.len(), |i| this.item_at(i))
+        }
+
+        /// Executes the pipeline, collecting results in index order.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C
+        where
+            Self: Sync,
+        {
+            C::from_par_iter(self)
+        }
+    }
+
+    /// Collection from a parallel iterator (shim: `Vec<T>` only).
+    pub trait FromParallelIterator<T: Send>: Sized {
+        /// Runs the iterator and gathers its results.
+        fn from_par_iter<P>(par: P) -> Self
+        where
+            P: ParallelIterator<Item = T> + Sync;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<P>(par: P) -> Self
+        where
+            P: ParallelIterator<Item = T> + Sync,
+        {
+            par.run()
+        }
+    }
+
+    /// A range of `usize` as a parallel iterator.
+    pub struct ParRange {
+        range: Range<usize>,
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Item = usize;
+        type Iter = ParRange;
+
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+
+    impl ParallelIterator for ParRange {
+        type Item = usize;
+
+        fn len(&self) -> usize {
+            self.range.end.saturating_sub(self.range.start)
+        }
+
+        fn item_at(&self, index: usize) -> usize {
+            self.range.start + index
+        }
+    }
+
+    /// See [`ParallelIterator::map`].
+    pub struct Map<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, F, T> ParallelIterator for Map<P, F>
+    where
+        P: ParallelIterator,
+        F: Fn(P::Item) -> T + Sync,
+        T: Send,
+    {
+        type Item = T;
+
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+
+        fn item_at(&self, index: usize) -> T {
+            (self.f)(self.base.item_at(index))
+        }
+    }
+
+    /// See [`ParallelIterator::map_init`].
+    pub struct MapInit<P, I, F> {
+        base: P,
+        init: I,
+        f: F,
+    }
+
+    impl<P, I, S, F, T> ParallelIterator for MapInit<P, I, F>
+    where
+        P: ParallelIterator + Sync,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, P::Item) -> T + Sync,
+        T: Send,
+    {
+        type Item = T;
+
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+
+        fn item_at(&self, index: usize) -> T {
+            // Pipelines nesting MapInit under further adapters pay a
+            // per-item init; `run` below provides the per-worker path.
+            let mut state = (self.init)();
+            (self.f)(&mut state, self.base.item_at(index))
+        }
+
+        fn run(self) -> Vec<T>
+        where
+            Self: Sync,
+        {
+            let MapInit { base, init, f } = &self;
+            run_indexed_init(base.len(), init, |state, i| f(state, base.item_at(i)))
+        }
+    }
+
+    /// Pull-scheduled parallel execution of `f(0..len)`, results in order.
+    fn run_indexed<T: Send>(len: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        run_indexed_init(len, &|| (), |(), i| f(i))
+    }
+
+    /// Pull-scheduled parallel execution with per-worker state.
+    fn run_indexed_init<T: Send, S>(
+        len: usize,
+        init: &(impl Fn() -> S + Sync),
+        f: impl Fn(&mut S, usize) -> T + Sync,
+    ) -> Vec<T> {
+        let threads = current_num_threads().min(len.max(1));
+        if threads <= 1 || len <= 1 {
+            let mut state = init();
+            return (0..len).map(|i| f(&mut state, i)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        let mut state = init();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= len {
+                                break;
+                            }
+                            out.push((i, f(&mut state, i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+        for chunk in chunks.iter_mut() {
+            for (i, v) in chunk.drain(..) {
+                slots[i] = Some(v);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index processed"))
+            .collect()
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_in_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn map_init_states_per_worker() {
+        let v: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |count, i| {
+                    *count += 1; // worker-local state must not affect values
+                    i
+                },
+            )
+            .collect();
+        assert_eq!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_install_controls_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let v: Vec<usize> = (0..50usize).into_par_iter().map(|i| i).collect();
+            assert_eq!(v, (0..50).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let v = pool.install(|| {
+            (0..10usize)
+                .into_par_iter()
+                .map(|i| i * i)
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(v[9], 81);
+    }
+
+    #[test]
+    fn empty_range() {
+        let v: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+}
