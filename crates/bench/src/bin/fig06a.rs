@@ -4,6 +4,11 @@
 //! decoding) with the union–find decoder on the circuit's detector error
 //! model, and Eq. (4) is fitted to the measured per-CNOT error rates.
 //!
+//! Both sweeps are declared as `raa::sim` grids (distances × CNOTs-per-round
+//! for the gate sweep, distances for the memory baseline) and run through
+//! the experiment engine, which owns sampling, decoding, parallel sharding
+//! and seeding; set `RAA_JSON=1` to dump the raw records as JSON lines.
+//!
 //! The paper fits the MLE-decoder data of Ref. [17] at p = 0.1%, extracting
 //! α ≈ 1/6 and Λ ≈ 20. Those error rates need ≥10⁸ shots at d ≥ 7; per the
 //! substitution rule we run the same experiment at an elevated physical
@@ -11,17 +16,28 @@
 //! Carlo converges in seconds, and report the fitted (α, Λ). Use
 //! `RAA_SHOTS` to deepen the statistics.
 
-use raa::core::fit::{fit_cnot_model, CnotErrorPoint};
 use raa::core::logical;
-use raa::surface::{run_transversal, Basis, DecoderKind, NoiseModel, TransversalCnotExperiment};
-use raa_bench::{env_shots, fmt, header, row};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use raa::sim::{analysis, run_sweep, Rounds, Scenario, ShotBudget, SweepGrid};
+use raa_bench::{env_shots, fmt, header, maybe_dump_json, row};
 
 fn main() {
     let shots = env_shots(20_000);
     let p_phys = 4e-3;
-    let mut rng = StdRng::seed_from_u64(0x6A);
+
+    let cnot_grid = SweepGrid::new(
+        "fig06a/cnot",
+        Scenario::TransversalCnot {
+            patches: 2,
+            depth: 16,
+            cnots_per_round: 1.0,
+        },
+    )
+    .with_distances(vec![3, 5])
+    .with_p_phys(vec![p_phys])
+    .with_cnots_per_round(vec![0.5, 1.0, 2.0, 4.0])
+    .with_shots(ShotBudget::Fixed(shots))
+    .with_seed(0x6A);
+    let cnot_records = run_sweep(&cnot_grid);
 
     header(&format!(
         "Fig. 6(a): per-CNOT logical error vs x (CNOTs per SE round), p = {p_phys}, {shots} shots/point"
@@ -33,78 +49,66 @@ fn main() {
         "shots".into(),
         "failures".into(),
     ]);
-
-    let mut points = Vec::new();
-    for &distance in &[3u32, 5] {
-        for &x in &[0.5, 1.0, 2.0, 4.0] {
-            let exp = TransversalCnotExperiment {
-                distance,
-                patches: 2,
-                depth: 16,
-                cnots_per_round: x,
-                basis: Basis::Z,
-                noise: NoiseModel::uniform(p_phys),
-            };
-            let result = run_transversal(&exp, DecoderKind::UnionFind, shots, &mut rng);
-            let per_cnot = result.error_per_cnot();
-            row(&[
-                fmt(x),
-                distance.to_string(),
-                fmt(per_cnot),
-                result.stats.shots.to_string(),
-                result.stats.failures.to_string(),
-            ]);
-            if per_cnot > 0.0 && per_cnot < 0.4 {
-                points.push(CnotErrorPoint {
-                    x,
-                    distance,
-                    error_per_cnot: per_cnot,
-                });
-            }
-        }
+    for r in &cnot_records {
+        row(&[
+            fmt(r.cnots_per_round.expect("transversal record")),
+            r.distance.to_string(),
+            fmt(r.error_per_cnot().expect("cnots > 0")),
+            r.shots.to_string(),
+            r.failures.to_string(),
+        ]);
     }
 
     // Memory baseline at the same p pins the x → 0 limit of Eq. (4): the
-    // per-round memory error gives Λ directly, isolating α in the fit.
+    // per-round memory error slope across distances gives Λ directly,
+    // isolating α in the fit.
+    let memory_grid = SweepGrid::new(
+        "fig06a/memory",
+        Scenario::Memory {
+            rounds: Rounds::TimesDistance(3),
+        },
+    )
+    .with_distances(vec![3, 5])
+    .with_p_phys(vec![p_phys])
+    .with_shots(ShotBudget::Fixed(shots))
+    .with_seed(0x6B);
+    let memory_records = run_sweep(&memory_grid);
+
     header("memory baseline (x -> 0 limit)");
     row(&["d".into(), "per-round memory error".into()]);
-    let mut memory_rates = Vec::new();
-    for &distance in &[3u32, 5] {
-        let exp = raa::surface::MemoryExperiment {
-            distance,
-            rounds: 3 * distance as usize,
-            basis: Basis::Z,
-            noise: NoiseModel::uniform(p_phys),
-        };
-        let r = raa::surface::run_memory(&exp, DecoderKind::UnionFind, shots, &mut rng);
-        let per_round = r.error_per_qubit_round();
-        row(&[distance.to_string(), fmt(per_round)]);
-        memory_rates.push((distance, per_round));
+    for r in &memory_records {
+        row(&[r.distance.to_string(), fmt(r.error_per_qubit_round())]);
     }
-    if memory_rates.len() == 2 && memory_rates[1].1 > 0.0 {
-        let lambda_mem = memory_rates[0].1 / memory_rates[1].1;
+    if let Some(lambda_mem) = analysis::memory_lambda(&memory_records) {
         header(&format!(
-            "memory-anchored Lambda = p_L(d=3)/p_L(d=5) = {lambda_mem:.2} \
+            "memory-anchored Lambda = {lambda_mem:.2} \
              (union-find at p = {p_phys}; the paper's MLE at 1e-3 gives ~20)"
         ));
     }
 
-    let fit = fit_cnot_model(&points, 0.1);
-    header(&format!(
-        "Eq. (4) joint fit: alpha = {:.3}, Lambda = {:.2}, mean sq. log-residual = {:.3} \
-         (paper at p = 1e-3 with MLE decoding: alpha ~ 1/6, Lambda ~ 20)",
-        fit.alpha, fit.lambda, fit.residual
-    ));
-
-    header("model vs measurement at the fitted parameters");
-    row(&["x".into(), "d".into(), "measured".into(), "fitted".into()]);
-    let params = fit.to_params();
-    for pt in &points {
-        row(&[
-            fmt(pt.x),
-            pt.distance.to_string(),
-            fmt(pt.error_per_cnot),
-            fmt(logical::cnot_error(&params, pt.distance, pt.x)),
-        ]);
+    match analysis::fit_eq4(&cnot_records, 0.1) {
+        Some(fit) => {
+            header(&format!(
+                "Eq. (4) joint fit: alpha = {:.3}, Lambda = {:.2}, mean sq. log-residual = {:.3} \
+                 (paper at p = 1e-3 with MLE decoding: alpha ~ 1/6, Lambda ~ 20)",
+                fit.alpha, fit.lambda, fit.residual
+            ));
+            header("model vs measurement at the fitted parameters");
+            row(&["x".into(), "d".into(), "measured".into(), "fitted".into()]);
+            let params = fit.to_params();
+            for pt in analysis::cnot_points(&cnot_records) {
+                row(&[
+                    fmt(pt.x),
+                    pt.distance.to_string(),
+                    fmt(pt.error_per_cnot),
+                    fmt(logical::cnot_error(&params, pt.distance, pt.x)),
+                ]);
+            }
+        }
+        None => header("too few usable points for the Eq. (4) fit; raise RAA_SHOTS"),
     }
+
+    let mut all = cnot_records;
+    all.extend(memory_records);
+    maybe_dump_json(&all);
 }

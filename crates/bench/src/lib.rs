@@ -24,6 +24,16 @@ pub fn row(cells: &[String]) {
     println!("{}", cells.join("\t"));
 }
 
+/// Dumps experiment-engine records as JSON lines when `RAA_JSON` is set
+/// (any value), so every simulation-backed figure binary can feed plotting
+/// or archival pipelines without bespoke flags.
+pub fn maybe_dump_json(records: &[raa::sim::ExperimentRecord]) {
+    if std::env::var_os("RAA_JSON").is_some() {
+        header("json records");
+        print!("{}", raa::sim::to_json_lines(records));
+    }
+}
+
 /// Formats a float compactly for table output.
 pub fn fmt(v: f64) -> String {
     if v == 0.0 {

@@ -118,13 +118,21 @@ impl McConfig {
     }
 }
 
-/// SplitMix64-style mix of the base seed and a batch index into an
-/// independent stream seed.
-fn batch_seed(seed: u64, batch_index: usize) -> u64 {
-    let mut z = seed ^ (batch_index as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+/// SplitMix64-style mix of a base seed and a stream index into an
+/// independent stream seed. Used for the per-batch RNG streams here and
+/// shared with the experiment engine's spec/point seed derivation
+/// (`raa-sim`), so there is exactly one seed-splitting construction in the
+/// stack.
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_add(1).wrapping_mul(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
+}
+
+/// The independent RNG stream seed of batch `batch_index`.
+fn batch_seed(seed: u64, batch_index: usize) -> u64 {
+    mix_seed(seed, batch_index as u64)
 }
 
 /// Per-worker pipeline state: decoder scratch plus syndrome buffers.

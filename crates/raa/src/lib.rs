@@ -12,6 +12,7 @@
 //! | [`stabsim`] | stabilizer circuit IR, tableau + Pauli-frame simulators, DEM extraction | §III.4 substrate |
 //! | [`decode`] | decoding graphs, union–find and exact matching decoders | §II.4 |
 //! | [`surface`] | rotated surface code, transversal-CNOT experiments, [[8,3,2]] code | §II.3, §III.6 |
+//! | [`sim`] | declarative experiment engine: specs, sweep grids, JSON records, Eq. (4) fits | §III.4 evaluation |
 //! | [`core`] | the logical-error model Eqs. (2)–(6), fits, idle/SE optimization | §III.4, §III.5 |
 //! | [`factory`] | cultivation + 8T-to-CCZ factory (28 p² verified exactly) | §III.6 |
 //! | [`gadgets`] | Cuccaro adders with runways, GHZ-fan-out look-up tables, Bell bridges | §III.5–III.8 |
@@ -36,5 +37,6 @@ pub use raa_factory as factory;
 pub use raa_gadgets as gadgets;
 pub use raa_physics as physics;
 pub use raa_shor as shor;
+pub use raa_sim as sim;
 pub use raa_stabsim as stabsim;
 pub use raa_surface as surface;

@@ -1,0 +1,371 @@
+//! The experiment engine: spec → circuit → DEM → decoder → statistics.
+//!
+//! [`run`] is a pure function of its [`ExperimentSpec`]: the spec seed
+//! drives both circuit construction (random CNOT directions in the
+//! transversal scenario) and the Monte-Carlo decode streams through
+//! independent derived streams, and decoding goes through the
+//! deterministically-sharded pipeline of [`raa_decode::mc`], so the result
+//! is bit-identical for any thread count or batch size.
+
+use crate::record::ExperimentRecord;
+use crate::spec::{DecoderChoice, ExperimentSpec, Scenario, ShotBudget, SweepGrid};
+use raa_decode::mc::{self, DecodeStats};
+use raa_decode::{
+    BpUnionFindDecoder, Decoder, DecodingGraph, MatchingDecoder, UniformLayers, UnionFindDecoder,
+    WindowedDecoder,
+};
+use raa_stabsim::{Circuit, DetectorErrorModel};
+use raa_surface::{GhzFanoutExperiment, MemoryExperiment, TransversalCnotExperiment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Stream tag for circuit construction randomness.
+const CIRCUIT_STREAM: u64 = 0xC1;
+/// Stream tag for the Monte-Carlo decode seed.
+const DECODE_STREAM: u64 = 0xDEC0;
+
+/// Derives an independent seed for a stream or grid point from a base
+/// seed, via the shared SplitMix64-style [`raa_decode::mc::mix_seed`] (the
+/// same construction as the per-batch decode streams).
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    mc::mix_seed(seed, stream)
+}
+
+/// Builds the noisy circuit a spec describes (deterministic in the spec).
+pub fn build_circuit(spec: &ExperimentSpec) -> Circuit {
+    match spec.scenario {
+        Scenario::Memory { rounds } => MemoryExperiment {
+            distance: spec.distance,
+            rounds: rounds.resolve(spec.distance),
+            basis: spec.basis,
+            noise: spec.noise,
+        }
+        .build(),
+        Scenario::TransversalCnot {
+            patches,
+            depth,
+            cnots_per_round,
+        } => {
+            let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, CIRCUIT_STREAM));
+            TransversalCnotExperiment {
+                distance: spec.distance,
+                patches,
+                depth,
+                cnots_per_round,
+                basis: spec.basis,
+                noise: spec.noise,
+            }
+            .build(&mut rng)
+        }
+        Scenario::GhzFanout { targets } => GhzFanoutExperiment {
+            distance: spec.distance,
+            targets,
+            noise: spec.noise,
+        }
+        .build(),
+    }
+}
+
+fn decode_budget<D: Decoder + Sync>(
+    circuit: &Circuit,
+    decoder: &D,
+    spec: &ExperimentSpec,
+    seed: u64,
+) -> DecodeStats {
+    match spec.shots {
+        ShotBudget::Fixed(shots) => {
+            mc::logical_error_rate_seeded(circuit, decoder, shots, seed, &spec.mc)
+        }
+        ShotBudget::UntilFailures {
+            max_shots,
+            target_failures,
+        } => mc::logical_error_rate_until_seeded(
+            circuit,
+            decoder,
+            max_shots,
+            target_failures,
+            seed,
+            &spec.mc,
+        ),
+    }
+}
+
+/// Wall-clock split of one engine run. Never part of the record (records
+/// are deterministic; wall time is not).
+#[derive(Debug, Clone, Copy)]
+pub struct RunTiming {
+    /// Circuit construction, DEM extraction, graph decomposition and
+    /// decoder construction.
+    pub setup_seconds: f64,
+    /// Sampling + Monte-Carlo decoding only — the number to use for decoder
+    /// throughput comparisons.
+    pub decode_seconds: f64,
+}
+
+/// Runs one spec end to end: build → DEM extraction → graphlike
+/// decomposition → decoder construction → parallel Monte-Carlo decoding →
+/// result record.
+///
+/// # Panics
+///
+/// Panics if [`DecoderChoice::Windowed`] is requested for a non-memory
+/// scenario (transversal circuits have no uniform time layering).
+pub fn run(spec: &ExperimentSpec) -> ExperimentRecord {
+    run_timed(spec).0
+}
+
+/// Like [`run`], but also reports the setup/decode wall-clock split.
+pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
+    let start = Instant::now();
+    let circuit = build_circuit(spec);
+    let dem = DetectorErrorModel::from_circuit(&circuit);
+    let (graph, arbitrary) = DecodingGraph::from_dem_decomposed(&dem);
+    let decode_seed = derive_seed(spec.seed, DECODE_STREAM);
+    let timed = |decode: &dyn Fn() -> DecodeStats| {
+        let t0 = Instant::now();
+        let stats = decode();
+        (stats, t0.elapsed().as_secs_f64())
+    };
+    let (stats, decode_seconds) = match spec.decoder {
+        DecoderChoice::UnionFind => {
+            let decoder = UnionFindDecoder::new(graph);
+            timed(&|| decode_budget(&circuit, &decoder, spec, decode_seed))
+        }
+        DecoderChoice::Matching => {
+            let decoder = MatchingDecoder::new(graph);
+            timed(&|| decode_budget(&circuit, &decoder, spec, decode_seed))
+        }
+        DecoderChoice::BpUnionFind => {
+            let decoder = BpUnionFindDecoder::new(&dem);
+            timed(&|| decode_budget(&circuit, &decoder, spec, decode_seed))
+        }
+        DecoderChoice::Windowed { commit, buffer } => {
+            assert!(
+                matches!(spec.scenario, Scenario::Memory { .. }),
+                "windowed decoding requires the memory scenario"
+            );
+            let detectors_per_layer = (spec.distance * spec.distance - 1) as usize;
+            let decoder = WindowedDecoder::new(
+                graph,
+                UniformLayers {
+                    detectors_per_layer,
+                },
+                commit,
+                buffer,
+            );
+            timed(&|| decode_budget(&circuit, &decoder, spec, decode_seed))
+        }
+    };
+    let timing = RunTiming {
+        setup_seconds: start.elapsed().as_secs_f64() - decode_seconds,
+        decode_seconds,
+    };
+    let (patches, cnots, se_rounds, cnots_per_round) = match spec.scenario {
+        Scenario::Memory { rounds } => (1, 0, rounds.resolve(spec.distance), None),
+        Scenario::TransversalCnot {
+            patches,
+            depth,
+            cnots_per_round,
+        } => {
+            // The builder owns the round schedule; ask it rather than
+            // re-deriving the formula here.
+            let exp = TransversalCnotExperiment {
+                distance: spec.distance,
+                patches,
+                depth,
+                cnots_per_round,
+                basis: spec.basis,
+                noise: spec.noise,
+            };
+            (
+                patches,
+                depth,
+                exp.expected_se_rounds(),
+                Some(cnots_per_round),
+            )
+        }
+        Scenario::GhzFanout { targets } => {
+            let exp = GhzFanoutExperiment {
+                distance: spec.distance,
+                targets,
+                noise: spec.noise,
+            };
+            (exp.patches(), exp.cnots(), exp.se_rounds(), None)
+        }
+    };
+    let record = ExperimentRecord {
+        name: spec.name.clone(),
+        scenario: spec.scenario.label().into(),
+        distance: spec.distance,
+        basis: spec.basis,
+        patches,
+        cnots,
+        se_rounds,
+        cnots_per_round,
+        noise: spec.noise,
+        decoder: spec.decoder.label(),
+        seed: spec.seed,
+        num_detectors: circuit.num_detectors(),
+        num_dem_errors: dem.len(),
+        arbitrary_decompositions: arbitrary,
+        shots: stats.shots,
+        failures: stats.failures,
+    };
+    (record, timing)
+}
+
+/// Runs every point of a sweep grid in its deterministic expansion order.
+///
+/// Each point's decoding is already sharded across threads by the
+/// [`raa_decode::mc`] pipeline, so points run serially (bounding peak
+/// memory to one circuit + one decoder at a time) without leaving cores
+/// idle.
+pub fn run_sweep(grid: &SweepGrid) -> Vec<ExperimentRecord> {
+    grid.specs().iter().map(run).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Rounds;
+    use raa_decode::McConfig;
+
+    fn memory_spec() -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new(
+            "test/memory",
+            Scenario::Memory {
+                rounds: Rounds::Fixed(2),
+            },
+            3,
+        );
+        spec.noise = raa_surface::NoiseModel::uniform(3e-3);
+        spec.shots = ShotBudget::Fixed(2_000);
+        spec.seed = 7;
+        spec
+    }
+
+    #[test]
+    fn memory_record_accounting() {
+        let r = run(&memory_spec());
+        assert_eq!(r.scenario, "memory");
+        assert_eq!(r.shots, 2_000);
+        assert_eq!(r.patches, 1);
+        assert_eq!(r.cnots, 0);
+        assert_eq!(r.se_rounds, 2);
+        assert!(r.num_detectors > 0);
+        assert!(r.num_dem_errors > 0);
+        assert!(r.logical_error_rate() < 0.1);
+        assert!(r.error_per_cnot().is_none());
+    }
+
+    #[test]
+    fn transversal_record_accounting() {
+        let mut spec = ExperimentSpec::new(
+            "test/cnot",
+            Scenario::TransversalCnot {
+                patches: 2,
+                depth: 4,
+                cnots_per_round: 2.0,
+            },
+            3,
+        );
+        spec.noise = raa_surface::NoiseModel::uniform(2e-3);
+        spec.shots = ShotBudget::Fixed(1_000);
+        let r = run(&spec);
+        assert_eq!(r.cnots, 4);
+        assert_eq!(r.se_rounds, 3);
+        assert_eq!(r.patches, 2);
+        assert_eq!(r.cnots_per_round, Some(2.0));
+        assert!(r.error_per_cnot().is_some());
+    }
+
+    #[test]
+    fn ghz_record_accounting() {
+        let mut spec = ExperimentSpec::new("test/ghz", Scenario::GhzFanout { targets: 3 }, 3);
+        spec.noise = raa_surface::NoiseModel::uniform(1e-3);
+        spec.shots = ShotBudget::Fixed(500);
+        let r = run(&spec);
+        assert_eq!(r.patches, 5);
+        assert_eq!(r.cnots, 4);
+        assert!(r.logical_error_rate() < 0.1);
+    }
+
+    #[test]
+    fn until_failures_budget_stops_early() {
+        let mut spec = memory_spec();
+        spec.noise = raa_surface::NoiseModel::uniform(1e-2);
+        spec.shots = ShotBudget::UntilFailures {
+            max_shots: 1_000_000,
+            target_failures: 5,
+        };
+        let r = run(&spec);
+        assert!(r.failures >= 5);
+        assert!(r.shots < 1_000_000);
+    }
+
+    #[test]
+    fn identical_spec_is_bit_identical_across_thread_counts() {
+        let spec = memory_spec();
+        let base = run(&ExperimentSpec {
+            mc: McConfig::default().with_threads(1),
+            ..spec.clone()
+        });
+        for threads in [2usize, 4] {
+            let multi = run(&ExperimentSpec {
+                mc: McConfig::default().with_threads(threads),
+                ..spec.clone()
+            });
+            assert_eq!(base.to_json(), multi.to_json(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn all_decoders_run_on_memory() {
+        for decoder in [
+            DecoderChoice::UnionFind,
+            DecoderChoice::Matching,
+            DecoderChoice::BpUnionFind,
+            DecoderChoice::Windowed {
+                commit: 2,
+                buffer: 2,
+            },
+        ] {
+            let mut spec = memory_spec();
+            spec.shots = ShotBudget::Fixed(500);
+            spec.decoder = decoder;
+            let r = run(&spec);
+            assert_eq!(r.shots, 500, "{:?}", decoder);
+            assert!(r.logical_error_rate() < 0.2, "{:?}", decoder);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "memory scenario")]
+    fn windowed_rejected_for_transversal() {
+        let mut spec = ExperimentSpec::new(
+            "bad",
+            Scenario::TransversalCnot {
+                patches: 2,
+                depth: 2,
+                cnots_per_round: 1.0,
+            },
+            3,
+        );
+        spec.decoder = DecoderChoice::Windowed {
+            commit: 2,
+            buffer: 2,
+        };
+        run(&spec);
+    }
+
+    #[test]
+    fn derived_seeds_are_spread() {
+        let a = derive_seed(0, 0);
+        let b = derive_seed(0, 1);
+        let c = derive_seed(1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

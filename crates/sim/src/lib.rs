@@ -1,0 +1,53 @@
+//! `raa-sim` — the declarative circuit-level experiment engine for the
+//! transversal-architecture reproduction.
+//!
+//! The paper's logical-error model (its Eq. 4) and the memory/transversal
+//! figures are calibrated against circuit-level stabilizer simulations.
+//! This crate closes that loop as a reusable pipeline instead of per-figure
+//! scripts: an [`ExperimentSpec`] pins down the code family, distance,
+//! noise, decoder, shot budget and seed, and [`run`] executes surface-code
+//! circuit construction → detector-error-model extraction → bit-packed
+//! Pauli-frame sampling → the parallel allocation-free decode pipeline of
+//! [`raa_decode::mc`] → a JSON-serializable [`ExperimentRecord`].
+//!
+//! Determinism is the load-bearing guarantee: the spec seed drives circuit
+//! construction and the per-batch Monte-Carlo streams through independent
+//! derived streams, so a spec's record (including its JSON bytes) is
+//! identical for any thread count or batch size. [`SweepGrid`] expands
+//! cartesian products (distances × error rates × CNOTs-per-round ×
+//! decoders) into specs with per-point derived seeds, and [`analysis`]
+//! fits the resulting records to Eq. (4) via [`raa_core::fit`].
+//!
+//! # Example: a seeded memory experiment
+//!
+//! ```
+//! use raa_sim::{run, ExperimentSpec, NoiseModel, Rounds, Scenario, ShotBudget};
+//!
+//! let mut spec = ExperimentSpec::new(
+//!     "demo/memory",
+//!     Scenario::Memory { rounds: Rounds::Fixed(2) },
+//!     3,
+//! );
+//! spec.noise = NoiseModel::uniform(2e-3);
+//! spec.shots = ShotBudget::Fixed(512);
+//! spec.seed = 42;
+//!
+//! let record = run(&spec);
+//! assert_eq!(record.shots, 512);
+//! assert!(record.logical_error_rate() < 0.1);
+//! // Same spec, same bytes — regardless of how many threads decode it.
+//! assert_eq!(run(&spec).to_json(), record.to_json());
+//! ```
+
+pub mod analysis;
+pub mod engine;
+pub mod record;
+pub mod spec;
+
+pub use engine::{build_circuit, derive_seed, run, run_sweep, run_timed, RunTiming};
+pub use record::{to_json_lines, ExperimentRecord};
+pub use spec::{DecoderChoice, ExperimentSpec, Rounds, Scenario, ShotBudget, SweepGrid};
+
+// Convenience re-exports so spec literals need no extra imports.
+pub use raa_decode::McConfig;
+pub use raa_surface::{Basis, NoiseModel};

@@ -1,0 +1,263 @@
+//! Experiment result records with deterministic JSON serialization.
+//!
+//! A record is the full, self-describing outcome of one engine run: the
+//! spec echo (scenario, geometry, noise, decoder, seed), the circuit/DEM
+//! shape and the decode statistics. Serialization is hand-rolled (the build
+//! has no serde) with a fixed key order and shortest-round-trip float
+//! formatting, so for a given spec the JSON is **byte-identical across
+//! runs, platforms and thread counts** — the property the engine's
+//! determinism tests pin.
+
+use raa_surface::experiments::per_unit_rate;
+use raa_surface::{Basis, NoiseModel};
+
+/// The result of running one [`crate::ExperimentSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRecord {
+    /// Spec name.
+    pub name: String,
+    /// Scenario label ("memory", "transversal_cnot", "ghz_fanout").
+    pub scenario: String,
+    /// Code distance.
+    pub distance: u32,
+    /// Logical basis protected.
+    pub basis: Basis,
+    /// Number of logical patches.
+    pub patches: usize,
+    /// Transversal CNOTs in the circuit (0 for memory).
+    pub cnots: usize,
+    /// Syndrome-extraction rounds executed.
+    pub se_rounds: usize,
+    /// CNOTs per SE round (the paper's `x`), when the scenario has one.
+    pub cnots_per_round: Option<f64>,
+    /// Circuit-level noise strengths.
+    pub noise: NoiseModel,
+    /// Decoder label.
+    pub decoder: String,
+    /// Spec seed.
+    pub seed: u64,
+    /// Detectors in the circuit.
+    pub num_detectors: usize,
+    /// Error mechanisms in the extracted DEM.
+    pub num_dem_errors: usize,
+    /// Hyperedges needing arbitrary pairing during graphlike decomposition.
+    pub arbitrary_decompositions: usize,
+    /// Shots decoded.
+    pub shots: usize,
+    /// Shots where the decoder mispredicted the observable mask.
+    pub failures: usize,
+}
+
+impl ExperimentRecord {
+    /// The logical error rate estimate (failures / shots).
+    pub fn logical_error_rate(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.shots as f64
+        }
+    }
+
+    /// Binomial standard error of the estimate.
+    pub fn standard_error(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let p = self.logical_error_rate();
+        (p * (1.0 - p) / self.shots as f64).sqrt()
+    }
+
+    /// Logical error rate per logical qubit per SE round, assuming
+    /// independent additive errors.
+    pub fn error_per_qubit_round(&self) -> f64 {
+        per_unit_rate(
+            self.logical_error_rate(),
+            (self.patches * self.se_rounds) as f64,
+        )
+    }
+
+    /// Logical error rate per transversal CNOT, when the circuit has any.
+    pub fn error_per_cnot(&self) -> Option<f64> {
+        (self.cnots > 0).then(|| per_unit_rate(self.logical_error_rate(), self.cnots as f64))
+    }
+
+    /// Serializes the record to one line of JSON with a fixed key order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        json_str(&mut s, "name", &self.name);
+        json_str(&mut s, "scenario", &self.scenario);
+        json_num(&mut s, "distance", self.distance as f64);
+        json_str(
+            &mut s,
+            "basis",
+            match self.basis {
+                Basis::Z => "Z",
+                Basis::X => "X",
+            },
+        );
+        json_num(&mut s, "patches", self.patches as f64);
+        json_num(&mut s, "cnots", self.cnots as f64);
+        json_num(&mut s, "se_rounds", self.se_rounds as f64);
+        json_opt(&mut s, "cnots_per_round", self.cnots_per_round);
+        json_num(&mut s, "p2", self.noise.p2);
+        json_num(&mut s, "p_idle", self.noise.p_idle);
+        json_num(&mut s, "p_prep", self.noise.p_prep);
+        json_num(&mut s, "p_meas", self.noise.p_meas);
+        json_str(&mut s, "decoder", &self.decoder);
+        // u64 seeds overflow JSON's interoperable double range: keep as text.
+        json_str(&mut s, "seed", &self.seed.to_string());
+        json_num(&mut s, "num_detectors", self.num_detectors as f64);
+        json_num(&mut s, "num_dem_errors", self.num_dem_errors as f64);
+        json_num(
+            &mut s,
+            "arbitrary_decompositions",
+            self.arbitrary_decompositions as f64,
+        );
+        json_num(&mut s, "shots", self.shots as f64);
+        json_num(&mut s, "failures", self.failures as f64);
+        json_num(&mut s, "logical_error_rate", self.logical_error_rate());
+        json_num(&mut s, "standard_error", self.standard_error());
+        json_num(
+            &mut s,
+            "error_per_qubit_round",
+            self.error_per_qubit_round(),
+        );
+        json_opt(&mut s, "error_per_cnot", self.error_per_cnot());
+        s.pop(); // trailing comma
+        s.push('}');
+        s
+    }
+}
+
+/// Serializes records as newline-delimited JSON (one record per line).
+pub fn to_json_lines(records: &[ExperimentRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+fn json_key(s: &mut String, key: &str) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":");
+}
+
+fn json_str(s: &mut String, key: &str, value: &str) {
+    json_key(s, key);
+    s.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push_str("\",");
+}
+
+fn json_num(s: &mut String, key: &str, value: f64) {
+    json_key(s, key);
+    if value.is_finite() {
+        // Shortest round-trip formatting: deterministic and lossless.
+        s.push_str(&format!("{value}"));
+    } else {
+        s.push_str("null");
+    }
+    s.push(',');
+}
+
+fn json_opt(s: &mut String, key: &str, value: Option<f64>) {
+    match value {
+        Some(v) => json_num(s, key, v),
+        None => {
+            json_key(s, key);
+            s.push_str("null,");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ExperimentRecord {
+        ExperimentRecord {
+            name: "t/d3".into(),
+            scenario: "memory".into(),
+            distance: 3,
+            basis: Basis::Z,
+            patches: 1,
+            cnots: 0,
+            se_rounds: 6,
+            cnots_per_round: None,
+            noise: NoiseModel::uniform(1e-3),
+            decoder: "union_find".into(),
+            seed: u64::MAX,
+            num_detectors: 24,
+            num_dem_errors: 100,
+            arbitrary_decompositions: 0,
+            shots: 10_000,
+            failures: 25,
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let r = record();
+        assert!((r.logical_error_rate() - 0.0025).abs() < 1e-12);
+        assert!(r.standard_error() > 0.0);
+        assert!(r.error_per_qubit_round() > 0.0);
+        assert!(r.error_per_qubit_round() < r.logical_error_rate());
+        assert_eq!(r.error_per_cnot(), None);
+        let mut with_cnots = record();
+        with_cnots.cnots = 8;
+        assert!(with_cnots.error_per_cnot().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = record().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"name\":\"t/d3\""));
+        assert!(j.contains("\"cnots_per_round\":null"));
+        assert!(j.contains("\"seed\":\"18446744073709551615\""));
+        assert!(j.contains("\"p2\":0.001"));
+        assert!(j.contains("\"failures\":25"));
+        assert!(!j.contains(",}"), "no trailing comma: {j}");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut r = record();
+        r.name = "a\"b\\c\nd".into();
+        let j = r.to_json();
+        assert!(j.contains(r#""name":"a\"b\\c\nd""#), "{j}");
+    }
+
+    #[test]
+    fn json_lines_one_per_record() {
+        let lines = to_json_lines(&[record(), record()]);
+        assert_eq!(lines.lines().count(), 2);
+        for line in lines.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn zero_shot_record_is_safe() {
+        let mut r = record();
+        r.shots = 0;
+        r.failures = 0;
+        assert_eq!(r.logical_error_rate(), 0.0);
+        assert_eq!(r.standard_error(), 0.0);
+        assert!(r.to_json().contains("\"logical_error_rate\":0"));
+    }
+}

@@ -1,0 +1,436 @@
+//! Declarative experiment specifications and sweep grids.
+//!
+//! An [`ExperimentSpec`] pins down *everything* a circuit-level Monte-Carlo
+//! experiment needs — scenario, distance, basis, noise, decoder, shot budget
+//! and seed — so that running it is a pure function of the spec (see
+//! [`crate::engine::run`]). A [`SweepGrid`] expands a cartesian product of
+//! distances × physical error rates × (optionally) CNOTs-per-round ×
+//! decoders into such specs with per-point derived seeds.
+
+use raa_decode::McConfig;
+use raa_surface::{Basis, NoiseModel};
+
+/// How many syndrome-extraction rounds a memory experiment runs.
+///
+/// Sweeps over distance usually want the rounds to scale with `d` (the
+/// paper's memory figures use a fixed multiple), so the count is resolved
+/// per spec point rather than fixed at grid construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rounds {
+    /// Exactly this many rounds at every distance.
+    Fixed(usize),
+    /// `factor × d` rounds at distance `d`.
+    TimesDistance(usize),
+}
+
+impl Rounds {
+    /// The round count at code distance `distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolved count is zero.
+    pub fn resolve(&self, distance: u32) -> usize {
+        let rounds = match *self {
+            Rounds::Fixed(n) => n,
+            Rounds::TimesDistance(k) => k * distance as usize,
+        };
+        assert!(rounds >= 1, "need at least one SE round");
+        rounds
+    }
+}
+
+/// The family of circuit the experiment builds and decodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// One idling patch: `rounds` SE rounds, then destructive readout.
+    Memory {
+        /// SE rounds, possibly distance-dependent.
+        rounds: Rounds,
+    },
+    /// A deep logical CNOT circuit between `patches` patches with
+    /// `cnots_per_round` transversal gates per SE round (the paper's `x`),
+    /// random gate directions drawn from the spec seed.
+    TransversalCnot {
+        /// Number of patches (≥ 2).
+        patches: usize,
+        /// Total transversal CNOTs.
+        depth: usize,
+        /// CNOTs per SE round (the paper's `x`).
+        cnots_per_round: f64,
+    },
+    /// Measurement-based logical GHZ preparation over `targets` branches
+    /// (the CNOT fan-out primitive of paper §III.8).
+    GhzFanout {
+        /// Number of GHZ branches (≥ 2).
+        targets: usize,
+    },
+}
+
+impl Scenario {
+    /// Stable label used in records ("memory", "transversal_cnot",
+    /// "ghz_fanout").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::Memory { .. } => "memory",
+            Scenario::TransversalCnot { .. } => "transversal_cnot",
+            Scenario::GhzFanout { .. } => "ghz_fanout",
+        }
+    }
+}
+
+/// How many shots to spend on one spec point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShotBudget {
+    /// Decode exactly this many shots.
+    Fixed(usize),
+    /// Decode until `target_failures` failures (deterministic early stop,
+    /// see [`raa_decode::mc::logical_error_rate_until_seeded`]), capped at
+    /// `max_shots`.
+    UntilFailures {
+        /// Hard cap on shots.
+        max_shots: usize,
+        /// Failure count that stops the run.
+        target_failures: usize,
+    },
+}
+
+/// Which decoder the engine instantiates for a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderChoice {
+    /// Weighted union–find (the fast workhorse).
+    UnionFind,
+    /// Exact small-instance matching (the MLE-like accuracy reference).
+    Matching,
+    /// Belief-propagation reweighting ahead of union–find.
+    BpUnionFind,
+    /// Sliding-window union–find over the time axis (memory scenario only;
+    /// layers are one SE round each).
+    Windowed {
+        /// Layers committed per window step.
+        commit: usize,
+        /// Look-ahead layers beyond the commit region.
+        buffer: usize,
+    },
+}
+
+impl DecoderChoice {
+    /// Stable label used in records.
+    pub fn label(&self) -> String {
+        match self {
+            DecoderChoice::UnionFind => "union_find".into(),
+            DecoderChoice::Matching => "matching".into(),
+            DecoderChoice::BpUnionFind => "bp_union_find".into(),
+            DecoderChoice::Windowed { commit, buffer } => {
+                format!("windowed_{commit}+{buffer}")
+            }
+        }
+    }
+}
+
+/// A fully pinned-down circuit-level experiment.
+///
+/// Running a spec ([`crate::engine::run`]) is deterministic: the seed drives
+/// both circuit construction (random CNOT directions) and the Monte-Carlo
+/// decode streams, and the execution parameters in `mc` (threads, batch
+/// size) are guaranteed not to change the result.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Record label (grids derive one per point).
+    pub name: String,
+    /// Circuit family.
+    pub scenario: Scenario,
+    /// Code distance.
+    pub distance: u32,
+    /// Logical basis protected.
+    pub basis: Basis,
+    /// Circuit-level noise strengths.
+    pub noise: NoiseModel,
+    /// Decoder to instantiate.
+    pub decoder: DecoderChoice,
+    /// Shot budget.
+    pub shots: ShotBudget,
+    /// Base seed for circuit construction and decode streams.
+    pub seed: u64,
+    /// Execution parameters (threads, batch size). Not part of the result:
+    /// records are bit-identical for any `mc` setting.
+    pub mc: McConfig,
+}
+
+impl ExperimentSpec {
+    /// A spec with the given scenario and distance and conservative
+    /// defaults: Z basis, uniform 1e-3 noise, union–find decoding, 10k
+    /// shots, seed 0, default Monte-Carlo config.
+    pub fn new(name: impl Into<String>, scenario: Scenario, distance: u32) -> Self {
+        Self {
+            name: name.into(),
+            scenario,
+            distance,
+            basis: Basis::Z,
+            noise: NoiseModel::uniform(1e-3),
+            decoder: DecoderChoice::UnionFind,
+            shots: ShotBudget::Fixed(10_000),
+            seed: 0,
+            mc: McConfig::default(),
+        }
+    }
+}
+
+/// A cartesian sweep: distances × physical error rates × (optionally)
+/// CNOTs-per-round × decoders, each point a full [`ExperimentSpec`] with a
+/// seed derived from the grid seed and the point index.
+///
+/// # Example
+///
+/// ```
+/// use raa_sim::{Rounds, Scenario, ShotBudget, SweepGrid};
+///
+/// let grid = SweepGrid::new(
+///     "memory",
+///     Scenario::Memory { rounds: Rounds::TimesDistance(1) },
+/// )
+/// .with_distances(vec![3, 5])
+/// .with_p_phys(vec![1e-3, 2e-3])
+/// .with_shots(ShotBudget::Fixed(1_000));
+/// let specs = grid.specs();
+/// assert_eq!(specs.len(), 4);
+/// assert_ne!(specs[0].seed, specs[1].seed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Prefix for per-point record names.
+    pub name: String,
+    /// Scenario template (per-point axes override its fields).
+    pub scenario: Scenario,
+    /// Logical basis protected.
+    pub basis: Basis,
+    /// Code distances (one axis).
+    pub distances: Vec<u32>,
+    /// Uniform physical error rates (one axis).
+    pub p_phys: Vec<f64>,
+    /// Optional CNOTs-per-round axis; empty keeps the scenario's own value.
+    /// Only meaningful for [`Scenario::TransversalCnot`].
+    pub cnots_per_round: Vec<f64>,
+    /// Decoders (one axis).
+    pub decoders: Vec<DecoderChoice>,
+    /// Shot budget applied to every point.
+    pub shots: ShotBudget,
+    /// Grid seed; per-point seeds are derived from it and the point index.
+    pub seed: u64,
+    /// Execution parameters applied to every point.
+    pub mc: McConfig,
+}
+
+impl SweepGrid {
+    /// A grid with the given scenario template and defaults: Z basis,
+    /// distance 3 only, p = 1e-3 only, union–find, 10k shots, seed 0.
+    pub fn new(name: impl Into<String>, scenario: Scenario) -> Self {
+        Self {
+            name: name.into(),
+            scenario,
+            basis: Basis::Z,
+            distances: vec![3],
+            p_phys: vec![1e-3],
+            cnots_per_round: Vec::new(),
+            decoders: vec![DecoderChoice::UnionFind],
+            shots: ShotBudget::Fixed(10_000),
+            seed: 0,
+            mc: McConfig::default(),
+        }
+    }
+
+    /// Sets the distance axis.
+    pub fn with_distances(mut self, distances: Vec<u32>) -> Self {
+        self.distances = distances;
+        self
+    }
+
+    /// Sets the physical-error-rate axis.
+    pub fn with_p_phys(mut self, p_phys: Vec<f64>) -> Self {
+        self.p_phys = p_phys;
+        self
+    }
+
+    /// Sets the CNOTs-per-round axis (transversal-CNOT scenarios only).
+    pub fn with_cnots_per_round(mut self, xs: Vec<f64>) -> Self {
+        self.cnots_per_round = xs;
+        self
+    }
+
+    /// Sets the decoder axis.
+    pub fn with_decoders(mut self, decoders: Vec<DecoderChoice>) -> Self {
+        self.decoders = decoders;
+        self
+    }
+
+    /// Sets the logical basis.
+    pub fn with_basis(mut self, basis: Basis) -> Self {
+        self.basis = basis;
+        self
+    }
+
+    /// Sets the per-point shot budget.
+    pub fn with_shots(mut self, shots: ShotBudget) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Sets the grid seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the execution parameters.
+    pub fn with_mc(mut self, mc: McConfig) -> Self {
+        self.mc = mc;
+        self
+    }
+
+    /// Expands the grid into one spec per point, in the deterministic
+    /// cartesian order distance (outer) × p × cnots-per-round × decoder
+    /// (inner).
+    ///
+    /// Seeds are derived per *physical* point (distance, p, x): every
+    /// decoder at the same point shares a seed and therefore decodes
+    /// identical syndrome samples, so decoder comparisons are paired and
+    /// sampling noise cancels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis is empty, or if a CNOTs-per-round axis is given for
+    /// a scenario other than [`Scenario::TransversalCnot`].
+    pub fn specs(&self) -> Vec<ExperimentSpec> {
+        assert!(!self.distances.is_empty(), "need at least one distance");
+        assert!(!self.p_phys.is_empty(), "need at least one error rate");
+        assert!(!self.decoders.is_empty(), "need at least one decoder");
+        if !self.cnots_per_round.is_empty() {
+            assert!(
+                matches!(self.scenario, Scenario::TransversalCnot { .. }),
+                "cnots_per_round axis requires the transversal-CNOT scenario"
+            );
+        }
+        let xs: Vec<Option<f64>> = if self.cnots_per_round.is_empty() {
+            vec![None]
+        } else {
+            self.cnots_per_round.iter().copied().map(Some).collect()
+        };
+        let mut specs = Vec::new();
+        let mut point_index = 0u64;
+        for &d in &self.distances {
+            for &p in &self.p_phys {
+                for &x in &xs {
+                    let seed = crate::engine::derive_seed(self.seed, point_index);
+                    point_index += 1;
+                    for &decoder in &self.decoders {
+                        let mut scenario = self.scenario;
+                        if let (
+                            Some(x),
+                            Scenario::TransversalCnot {
+                                cnots_per_round, ..
+                            },
+                        ) = (x, &mut scenario)
+                        {
+                            *cnots_per_round = x;
+                        }
+                        let mut name = format!("{}/d{d}/p{p}", self.name);
+                        if let Some(x) = x {
+                            name.push_str(&format!("/x{x}"));
+                        }
+                        name.push_str(&format!("/{}", decoder.label()));
+                        specs.push(ExperimentSpec {
+                            name,
+                            scenario,
+                            distance: d,
+                            basis: self.basis,
+                            noise: NoiseModel::uniform(p),
+                            decoder,
+                            shots: self.shots,
+                            seed,
+                            mc: self.mc.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_resolution() {
+        assert_eq!(Rounds::Fixed(7).resolve(11), 7);
+        assert_eq!(Rounds::TimesDistance(3).resolve(5), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SE round")]
+    fn zero_rounds_rejected() {
+        Rounds::Fixed(0).resolve(3);
+    }
+
+    #[test]
+    fn decoder_labels_are_stable() {
+        assert_eq!(DecoderChoice::UnionFind.label(), "union_find");
+        assert_eq!(
+            DecoderChoice::Windowed {
+                commit: 2,
+                buffer: 3
+            }
+            .label(),
+            "windowed_2+3"
+        );
+    }
+
+    #[test]
+    fn grid_expands_cartesian_product_in_order() {
+        let grid = SweepGrid::new(
+            "g",
+            Scenario::TransversalCnot {
+                patches: 2,
+                depth: 4,
+                cnots_per_round: 1.0,
+            },
+        )
+        .with_distances(vec![3, 5])
+        .with_p_phys(vec![1e-3])
+        .with_cnots_per_round(vec![0.5, 2.0])
+        .with_decoders(vec![DecoderChoice::UnionFind, DecoderChoice::Matching]);
+        let specs = grid.specs();
+        assert_eq!(specs.len(), 8, "2 distances x 1 p x 2 xs x 2 decoders");
+        assert_eq!(specs[0].name, "g/d3/p0.001/x0.5/union_find");
+        assert_eq!(specs[1].name, "g/d3/p0.001/x0.5/matching");
+        assert_eq!(specs[7].name, "g/d5/p0.001/x2/matching");
+        match specs[2].scenario {
+            Scenario::TransversalCnot {
+                cnots_per_round, ..
+            } => assert_eq!(cnots_per_round, 2.0),
+            _ => unreachable!(),
+        }
+        // Per-point seeds are reproducible; decoders at the same physical
+        // point share a seed (paired comparison), distinct points differ.
+        let again = grid.specs();
+        for (a, b) in specs.iter().zip(&again) {
+            assert_eq!(a.seed, b.seed);
+        }
+        assert_eq!(specs[0].seed, specs[1].seed, "same point, two decoders");
+        assert_ne!(specs[0].seed, specs[2].seed, "different x");
+        assert_ne!(specs[0].seed, specs[4].seed, "different distance");
+    }
+
+    #[test]
+    #[should_panic(expected = "transversal-CNOT scenario")]
+    fn x_axis_rejected_for_memory() {
+        SweepGrid::new(
+            "g",
+            Scenario::Memory {
+                rounds: Rounds::Fixed(1),
+            },
+        )
+        .with_cnots_per_round(vec![1.0])
+        .specs();
+    }
+}

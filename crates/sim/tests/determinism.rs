@@ -1,0 +1,96 @@
+//! End-to-end determinism of the experiment engine: an identical
+//! `ExperimentSpec` (and sweep grid) must produce **bit-identical JSON
+//! records** at 1, 2 and 8 worker threads, extending the `DecodeStats`
+//! guarantee of the parallel Monte-Carlo pipeline through circuit
+//! construction, DEM extraction and record serialization.
+
+use raa_sim::{
+    run, run_sweep, to_json_lines, DecoderChoice, ExperimentSpec, McConfig, NoiseModel, Rounds,
+    Scenario, ShotBudget, SweepGrid,
+};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn with_threads(spec: &ExperimentSpec, threads: usize) -> ExperimentSpec {
+    ExperimentSpec {
+        mc: McConfig::default().with_threads(threads),
+        ..spec.clone()
+    }
+}
+
+#[test]
+fn memory_spec_json_identical_across_thread_counts() {
+    let mut spec = ExperimentSpec::new(
+        "determinism/memory",
+        Scenario::Memory {
+            rounds: Rounds::TimesDistance(1),
+        },
+        3,
+    );
+    spec.noise = NoiseModel::uniform(5e-3);
+    spec.shots = ShotBudget::Fixed(4_000);
+    spec.seed = 0xD17E;
+    let base = run(&with_threads(&spec, THREADS[0])).to_json();
+    assert!(base.contains("\"failures\""));
+    for &threads in &THREADS[1..] {
+        let json = run(&with_threads(&spec, threads)).to_json();
+        assert_eq!(base, json, "threads = {threads}");
+    }
+}
+
+#[test]
+fn transversal_spec_with_early_stop_identical_across_thread_counts() {
+    // The early-stop path is the trickiest to keep deterministic (workers
+    // race to claim batches); the engine must inherit its batch-prefix
+    // guarantee.
+    let mut spec = ExperimentSpec::new(
+        "determinism/cnot",
+        Scenario::TransversalCnot {
+            patches: 2,
+            depth: 6,
+            cnots_per_round: 2.0,
+        },
+        3,
+    );
+    spec.noise = NoiseModel::uniform(6e-3);
+    spec.shots = ShotBudget::UntilFailures {
+        max_shots: 100_000,
+        target_failures: 20,
+    };
+    spec.seed = 0xBEE;
+    let base = run(&with_threads(&spec, THREADS[0]));
+    assert!(base.failures >= 20, "elevated p must reach the target");
+    for &threads in &THREADS[1..] {
+        let record = run(&with_threads(&spec, threads));
+        assert_eq!(base.to_json(), record.to_json(), "threads = {threads}");
+    }
+}
+
+#[test]
+fn sweep_json_lines_identical_across_thread_counts() {
+    let grid = SweepGrid::new(
+        "determinism/sweep",
+        Scenario::Memory {
+            rounds: Rounds::Fixed(2),
+        },
+    )
+    .with_distances(vec![3])
+    .with_p_phys(vec![3e-3, 6e-3])
+    .with_decoders(vec![DecoderChoice::UnionFind, DecoderChoice::Matching])
+    .with_shots(ShotBudget::Fixed(2_000))
+    .with_seed(7);
+    let base = to_json_lines(&run_sweep(
+        &grid
+            .clone()
+            .with_mc(McConfig::default().with_threads(THREADS[0])),
+    ));
+    assert_eq!(base.lines().count(), 4);
+    for &threads in &THREADS[1..] {
+        let lines = to_json_lines(&run_sweep(
+            &grid
+                .clone()
+                .with_mc(McConfig::default().with_threads(threads)),
+        ));
+        assert_eq!(base, lines, "threads = {threads}");
+    }
+}

@@ -53,4 +53,4 @@ pub use dem::{DemError, DetectorErrorModel};
 pub use frame::{DetectorSamples, FrameSim, SyndromeBatch};
 pub use pauli::{Pauli, PauliString};
 pub use tableau::{MeasureResult, TableauSim};
-pub use text::{parse, to_text, ParseError};
+pub use text::{dem_to_text, parse, parse_dem, to_text, ParseError};

@@ -227,9 +227,28 @@ impl TableauSim {
 
     /// Measures qubit `q`, forcing random outcomes to `forced`.
     ///
-    /// If the outcome is deterministic the forced value is ignored.
+    /// The caller asserts the outcome: when the measurement is deterministic,
+    /// debug builds check that `forced` matches the state's value and panic on
+    /// a mismatch (a mismatch means the caller's expectation about the state
+    /// is wrong — historically the forced value was silently ignored, which
+    /// hid such bugs). Use [`TableauSim::measure_desired`] to express "take
+    /// this value only if the outcome is random".
     pub fn measure_forced(&mut self, q: usize, forced: bool) -> MeasureResult {
-        self.measure_impl(q, Some(forced))
+        let m = self.measure_impl(q, Some(forced));
+        debug_assert!(
+            !m.deterministic || m.value == forced,
+            "measure_forced: qubit {q} is deterministically {}, caller forced {forced}",
+            m.value
+        );
+        m
+    }
+
+    /// Measures qubit `q`, taking `desired` as the outcome when (and only
+    /// when) the measurement is random; deterministic outcomes keep the
+    /// state's value. The non-asserting sibling of
+    /// [`TableauSim::measure_forced`].
+    pub fn measure_desired(&mut self, q: usize, desired: bool) -> MeasureResult {
+        self.measure_impl(q, Some(desired))
     }
 
     fn measure_impl(&mut self, q: usize, random_value: Option<bool>) -> MeasureResult {
@@ -294,7 +313,7 @@ impl TableauSim {
 
     /// Resets qubit `q` to |0⟩.
     pub fn reset(&mut self, q: usize) {
-        let m = self.measure_forced(q, false);
+        let m = self.measure_desired(q, false);
         if m.value {
             self.x_gate(q);
         }
@@ -310,7 +329,7 @@ impl TableauSim {
     /// measured bit, `None` if the outcome would be random.
     pub fn peek_z(&self, q: usize) -> Option<bool> {
         let mut probe = self.clone();
-        let m = probe.measure_forced(q, false);
+        let m = probe.measure_desired(q, false);
         m.deterministic.then_some(m.value)
     }
 
@@ -349,19 +368,19 @@ impl TableauSim {
             XError | ZError | YError | Depolarize1 | Depolarize2 | Tick => {}
             M => {
                 for &q in &op.targets {
-                    record.push(self.measure_forced(q as usize, false).value);
+                    record.push(self.measure_desired(q as usize, false).value);
                 }
             }
             MX => {
                 for &q in &op.targets {
                     self.h(q as usize);
-                    record.push(self.measure_forced(q as usize, false).value);
+                    record.push(self.measure_desired(q as usize, false).value);
                     self.h(q as usize);
                 }
             }
             MR => {
                 for &q in &op.targets {
-                    let m = self.measure_forced(q as usize, false);
+                    let m = self.measure_desired(q as usize, false);
                     record.push(m.value);
                     if m.value {
                         self.x_gate(q as usize);
@@ -502,7 +521,8 @@ mod tests {
     #[test]
     fn zero_state_measures_zero_deterministically() {
         let mut sim = TableauSim::new(1);
-        let m = sim.measure_forced(0, true);
+        // The desired value is only taken when the outcome is random.
+        let m = sim.measure_desired(0, true);
         assert!(!m.value);
         assert!(m.deterministic);
     }
@@ -511,7 +531,7 @@ mod tests {
     fn x_flip_measures_one() {
         let mut sim = TableauSim::new(1);
         sim.x_gate(0);
-        let m = sim.measure_forced(0, false);
+        let m = sim.measure_desired(0, false);
         assert!(m.value);
         assert!(m.deterministic);
     }
@@ -523,7 +543,7 @@ mod tests {
         let m1 = sim.measure_forced(0, true);
         assert!(!m1.deterministic);
         assert!(m1.value);
-        let m2 = sim.measure_forced(0, false);
+        let m2 = sim.measure_forced(0, true);
         assert!(m2.deterministic);
         assert!(m2.value, "state must stay collapsed");
     }
@@ -534,10 +554,38 @@ mod tests {
         sim.h(0);
         sim.cx(0, 1);
         let a = sim.measure_forced(0, true);
-        let b = sim.measure_forced(1, false);
+        let b = sim.measure_forced(1, a.value);
         assert!(!a.deterministic);
         assert!(b.deterministic);
         assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn forced_consistent_with_deterministic_outcome_is_accepted() {
+        let mut sim = TableauSim::new(1);
+        sim.x_gate(0);
+        let m = sim.measure_forced(0, true);
+        assert!(m.deterministic);
+        assert!(m.value);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "deterministically")]
+    fn forced_inconsistent_with_deterministic_outcome_panics() {
+        let mut sim = TableauSim::new(1);
+        sim.x_gate(0);
+        // |1⟩ measures 1 deterministically; forcing 0 is a caller bug.
+        let _ = sim.measure_forced(0, false);
+    }
+
+    #[test]
+    fn measure_desired_never_panics_on_mismatch() {
+        let mut sim = TableauSim::new(1);
+        sim.x_gate(0);
+        let m = sim.measure_desired(0, false);
+        assert!(m.deterministic);
+        assert!(m.value, "deterministic value wins over the desired one");
     }
 
     #[test]

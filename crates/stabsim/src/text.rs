@@ -19,6 +19,7 @@
 //! experiment circuits and diffing them in CI.
 
 use crate::circuit::{Circuit, MeasRecord, OpKind};
+use crate::dem::{DemError, DetectorErrorModel};
 use std::fmt::Write as _;
 
 /// Error from parsing a circuit text file.
@@ -303,6 +304,146 @@ pub fn parse(text: &str) -> Result<Circuit, ParseError> {
     Ok(c)
 }
 
+/// Serializes a detector error model to a canonical text format, one
+/// mechanism per line:
+///
+/// ```text
+/// dem 24 detectors 1 observables
+/// error(0.001) D0 D4
+/// error(0.0006666666666666666) D3 L0
+/// ```
+///
+/// Probabilities use Rust's shortest round-trip float formatting, so the
+/// output is byte-for-byte deterministic for a given model and parses back
+/// losslessly with [`parse_dem`]. Mechanisms appear in the model's order
+/// (which [`DetectorErrorModel::from_circuit`] makes canonical by sorting on
+/// detector sets); this is the format used by the golden `.dem` fixtures
+/// under `tests/fixtures/`.
+pub fn dem_to_text(dem: &DetectorErrorModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dem {} detectors {} observables",
+        dem.num_detectors, dem.num_observables
+    );
+    for e in dem.iter() {
+        let _ = write!(out, "error({})", e.probability);
+        for d in &e.detectors {
+            let _ = write!(out, " D{d}");
+        }
+        for o in 0..64 {
+            if e.observables >> o & 1 == 1 {
+                let _ = write!(out, " L{o}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a detector error model from the [`dem_to_text`] format.
+///
+/// Lines starting with `#` and blank lines are ignored.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line for a missing or
+/// malformed header, bad probabilities, or out-of-range detector/observable
+/// references.
+pub fn parse_dem(text: &str) -> Result<DetectorErrorModel, ParseError> {
+    let mut dem: Option<DetectorErrorModel> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let err = |message: String| ParseError { line, message };
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let head = parts.next().expect("non-empty line");
+        if head == "dem" {
+            if dem.is_some() {
+                return Err(err("duplicate dem header".into()));
+            }
+            let mut field = |label: &str| -> Result<usize, ParseError> {
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| err(format!("missing {label} count")))?
+                    .parse()
+                    .map_err(|e| err(format!("bad {label} count: {e}")))?;
+                if parts.next() != Some(label) {
+                    return Err(err(format!("expected {label:?} after its count")));
+                }
+                Ok(n)
+            };
+            let num_detectors = field("detectors")?;
+            let num_observables = field("observables")?;
+            if num_observables > 64 {
+                return Err(err(format!(
+                    "at most 64 observables supported, got {num_observables}"
+                )));
+            }
+            dem = Some(DetectorErrorModel {
+                num_detectors,
+                num_observables,
+                errors: Vec::new(),
+            });
+            continue;
+        }
+        let dem = dem
+            .as_mut()
+            .ok_or_else(|| err("error line before the dem header".into()))?;
+        let inner = head
+            .strip_prefix("error(")
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| err(format!("expected error(p), got {head:?}")))?;
+        let probability: f64 = inner
+            .parse()
+            .map_err(|e| err(format!("bad probability {inner:?}: {e}")))?;
+        if !(0.0..=1.0).contains(&probability) {
+            return Err(err(format!("probability {probability} out of range")));
+        }
+        let mut detectors = Vec::new();
+        let mut observables = 0u64;
+        for tok in parts {
+            if let Some(d) = tok.strip_prefix('D') {
+                let d: u32 = d
+                    .parse()
+                    .map_err(|e| err(format!("bad detector {tok:?}: {e}")))?;
+                if d as usize >= dem.num_detectors {
+                    return Err(err(format!(
+                        "detector {d} out of range ({} declared)",
+                        dem.num_detectors
+                    )));
+                }
+                detectors.push(d);
+            } else if let Some(o) = tok.strip_prefix('L') {
+                let o: usize = o
+                    .parse()
+                    .map_err(|e| err(format!("bad observable {tok:?}: {e}")))?;
+                if o >= dem.num_observables {
+                    return Err(err(format!(
+                        "observable {o} out of range ({} declared)",
+                        dem.num_observables
+                    )));
+                }
+                observables |= 1 << o;
+            } else {
+                return Err(err(format!("expected D<i> or L<i>, got {tok:?}")));
+            }
+        }
+        dem.errors.push(DemError {
+            probability,
+            detectors,
+            observables,
+        });
+    }
+    dem.ok_or(ParseError {
+        line: text.lines().count().max(1),
+        message: "missing dem header".into(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,5 +575,60 @@ mod tests {
     fn cnot_alias_accepted() {
         let c = parse("CNOT 0 1").expect("parse");
         assert_eq!(c.count_ops(OpKind::CX), 1);
+    }
+
+    #[test]
+    fn dem_text_round_trips_losslessly() {
+        let dem = DetectorErrorModel::from_circuit(&example_circuit());
+        let text = dem_to_text(&dem);
+        let parsed = parse_dem(&text).expect("parse dem");
+        assert_eq!(parsed.num_detectors, dem.num_detectors);
+        assert_eq!(parsed.num_observables, dem.num_observables);
+        assert_eq!(parsed.errors, dem.errors, "text:\n{text}");
+        // Shortest round-trip floats: re-serializing is byte-stable.
+        assert_eq!(dem_to_text(&parsed), text);
+    }
+
+    #[test]
+    fn dem_text_is_deterministic() {
+        let a = dem_to_text(&DetectorErrorModel::from_circuit(&example_circuit()));
+        let b = dem_to_text(&DetectorErrorModel::from_circuit(&example_circuit()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dem_parse_errors() {
+        assert!(parse_dem("").unwrap_err().message.contains("missing dem"));
+        assert!(parse_dem("error(0.1) D0")
+            .unwrap_err()
+            .message
+            .contains("before the dem header"));
+        assert!(parse_dem("dem 1 detectors 1 observables\nerror(2.0) D0")
+            .unwrap_err()
+            .message
+            .contains("out of range"));
+        assert!(parse_dem("dem 1 detectors 1 observables\nerror(0.1) D7")
+            .unwrap_err()
+            .message
+            .contains("out of range"));
+        assert!(parse_dem("dem 1 detectors 1 observables\nerror(0.1) L3")
+            .unwrap_err()
+            .message
+            .contains("out of range"));
+        assert!(parse_dem("dem 1 detectors 1 observables\nerror(0.1) Q1")
+            .unwrap_err()
+            .message
+            .contains("expected D<i> or L<i>"));
+        let e = parse_dem("dem 1 detectors").unwrap_err();
+        assert!(e.message.contains("observables"), "{}", e.message);
+    }
+
+    #[test]
+    fn dem_parse_accepts_comments_and_blanks() {
+        let text = "# golden fixture\n\ndem 2 detectors 1 observables\nerror(0.25) D0 D1 L0\n";
+        let dem = parse_dem(text).expect("parse");
+        assert_eq!(dem.num_detectors, 2);
+        assert_eq!(dem.errors.len(), 1);
+        assert_eq!(dem.errors[0].observables, 1);
     }
 }

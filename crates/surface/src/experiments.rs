@@ -134,6 +134,22 @@ pub struct GhzFanoutExperiment {
 }
 
 impl GhzFanoutExperiment {
+    /// Total patches: `targets` GHZ qubits interleaved with their helpers.
+    pub fn patches(&self) -> usize {
+        2 * self.targets - 1
+    }
+
+    /// Transversal CNOTs emitted: two per helper.
+    pub fn cnots(&self) -> usize {
+        2 * (self.targets - 1)
+    }
+
+    /// SE rounds the schedule emits (after init, after the CNOT layer, and
+    /// after the helper readout).
+    pub fn se_rounds(&self) -> usize {
+        3
+    }
+
     /// Builds the noisy circuit: helpers interleave with targets, so patch
     /// `2i` is GHZ qubit `i` and patch `2i+1` its helper.
     ///
@@ -188,9 +204,9 @@ pub fn run_ghz<R: Rng>(
     let stats = decode_circuit(&circuit, decoder, shots, rng);
     ExperimentResult {
         distance: exp.distance,
-        cnots: 2 * (exp.targets - 1),
-        se_rounds: 3,
-        patches: 2 * exp.targets - 1,
+        cnots: exp.cnots(),
+        se_rounds: exp.se_rounds(),
+        patches: exp.patches(),
         stats,
     }
 }
@@ -230,8 +246,10 @@ impl ExperimentResult {
     }
 }
 
-/// Inverts `p_total = 1 - (1 - p_unit)^units`.
-fn per_unit_rate(p_total: f64, units: f64) -> f64 {
+/// Inverts `p_total = 1 - (1 - p_unit)^units`: the per-unit error rate of
+/// `units` independent additive error opportunities compounding to
+/// `p_total`. Shared by every per-round / per-CNOT rate in the stack.
+pub fn per_unit_rate(p_total: f64, units: f64) -> f64 {
     if p_total <= 0.0 {
         return 0.0;
     }

@@ -5,87 +5,75 @@
 //! choice of decoder moves the effective decoding factor α, and Fig. 13(a)
 //! shows the architecture tolerates that.
 //!
+//! The workload is one `raa::sim` sweep grid with the decoder as its only
+//! axis; the experiment engine owns sampling, decoding and seeding, so the
+//! numbers are reproducible and identical for any `RAA_THREADS` setting.
+//!
 //! ```sh
 //! cargo run --release --example decoder_shootout
 //! ```
 
-use raa::decode::{
-    mc, BpUnionFindDecoder, DecodingGraph, MatchingDecoder, McConfig, UniformLayers,
-    UnionFindDecoder, WindowedDecoder,
-};
-use raa::stabsim::DetectorErrorModel;
-use raa::surface::{Basis, MemoryExperiment, NoiseModel};
-use std::time::Instant;
+use raa::sim::{run_timed, DecoderChoice, McConfig, Rounds, Scenario, ShotBudget, SweepGrid};
 
 fn main() {
     let shots: usize = std::env::var("RAA_SHOTS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
-    let d = 3u32;
-    let p = 5e-3;
-    let exp = MemoryExperiment {
-        distance: d,
-        rounds: d as usize,
-        basis: Basis::Z,
-        noise: NoiseModel::uniform(p),
-    };
-    let circuit = exp.build();
-    let dem = DetectorErrorModel::from_circuit(&circuit);
-    let (graph, arbitrary) = DecodingGraph::from_dem_decomposed(&dem);
-    println!(
-        "surface-code memory d = {d}, {} rounds, p = {p}: {} detectors, {} DEM errors \
-         ({arbitrary} arbitrary decompositions), {shots} shots\n",
-        d,
-        dem.num_detectors,
-        dem.len()
-    );
-
-    let per_layer = ((d * d - 1) / 2 * 2) as usize; // detectors per SE round
-
-    let uf = UnionFindDecoder::new(graph.clone());
-    let mwpm = MatchingDecoder::new(graph.clone());
-    let bp = BpUnionFindDecoder::new(&dem);
-    let windowed = WindowedDecoder::new(
-        graph,
-        UniformLayers {
-            detectors_per_layer: per_layer,
-        },
-        2,
-        2,
-    );
-
-    // Fixed seed + per-batch derived RNG streams: the numbers below are
-    // reproducible and identical for any RAA_THREADS setting.
     let threads: usize = std::env::var("RAA_THREADS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    let cfg = McConfig::default().with_threads(threads);
-    let run = |name: &str, f: &dyn Fn(&McConfig) -> mc::DecodeStats| {
-        let t0 = Instant::now();
-        let stats = f(&cfg);
-        let dt = t0.elapsed().as_secs_f64();
-        println!(
-            "{name:<22} p_L = {:.5} +- {:.5}   ({:.0} shots/s)",
-            stats.logical_error_rate(),
-            stats.standard_error(),
-            stats.shots as f64 / dt
-        );
-    };
+    let d = 3u32;
+    let p = 5e-3;
 
-    run("union-find", &|cfg| {
-        mc::logical_error_rate_seeded(&circuit, &uf, shots, 99, cfg)
-    });
-    run("exact matching (MLE)", &|cfg| {
-        mc::logical_error_rate_seeded(&circuit, &mwpm, shots, 99, cfg)
-    });
-    run("BP + union-find", &|cfg| {
-        mc::logical_error_rate_seeded(&circuit, &bp, shots, 99, cfg)
-    });
-    run("windowed union-find", &|cfg| {
-        mc::logical_error_rate_seeded(&circuit, &windowed, shots, 99, cfg)
-    });
+    let grid = SweepGrid::new(
+        "shootout",
+        Scenario::Memory {
+            rounds: Rounds::TimesDistance(1),
+        },
+    )
+    .with_distances(vec![d])
+    .with_p_phys(vec![p])
+    .with_decoders(vec![
+        DecoderChoice::UnionFind,
+        DecoderChoice::Matching,
+        DecoderChoice::BpUnionFind,
+        DecoderChoice::Windowed {
+            commit: 2,
+            buffer: 2,
+        },
+    ])
+    .with_shots(ShotBudget::Fixed(shots))
+    .with_seed(99)
+    .with_mc(McConfig::default().with_threads(threads));
+
+    let specs = grid.specs();
+    let mut first = true;
+    for spec in &specs {
+        // All four specs share a seed, so the decoders are compared on
+        // identical syndrome samples; shots/s counts the decode phase only
+        // (setup — DEM extraction, graph building — is excluded).
+        let (record, timing) = run_timed(spec);
+        if first {
+            println!(
+                "surface-code memory d = {d}, {} rounds, p = {p}: {} detectors, {} DEM errors \
+                 ({} arbitrary decompositions), {shots} shots\n",
+                record.se_rounds,
+                record.num_detectors,
+                record.num_dem_errors,
+                record.arbitrary_decompositions,
+            );
+            first = false;
+        }
+        println!(
+            "{:<22} p_L = {:.5} +- {:.5}   ({:.0} shots/s)",
+            record.decoder,
+            record.logical_error_rate(),
+            record.standard_error(),
+            record.shots as f64 / timing.decode_seconds
+        );
+    }
 
     println!(
         "\nmore accurate decoders (matching, BP+UF) lower p_L, i.e. a smaller effective \

@@ -1,0 +1,149 @@
+//! Golden tests for detector-error-model extraction: the DEMs of two small
+//! reference circuits are pinned byte-for-byte as text fixtures under
+//! `tests/fixtures/`. Any change to the extractor's sensitivity propagation,
+//! probability merging or canonical ordering shows up as a fixture diff.
+//!
+//! To regenerate the fixtures after an *intentional* change, run
+//! `RAA_BLESS=1 cargo test --test golden_dem` and review the diff.
+
+use raa::stabsim::{dem_to_text, parse_dem, Circuit, DetectorErrorModel, MeasRecord};
+use raa::surface::code832::{Z_LOGICALS, Z_STABILIZER_GENERATORS};
+use raa::surface::{Basis, MemoryExperiment, NoiseModel};
+use std::path::Path;
+
+/// Compares `actual` against the checked-in fixture, or rewrites the
+/// fixture when `RAA_BLESS` is set.
+fn assert_golden(actual: &str, fixture: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    if std::env::var_os("RAA_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create fixtures dir");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e} (run with RAA_BLESS=1)", fixture));
+    assert!(
+        actual == expected,
+        "DEM text differs from golden fixture {fixture}; \
+         if the change is intentional, regenerate with RAA_BLESS=1 and review the diff"
+    );
+}
+
+/// d = 3 rotated surface-code memory, two SE rounds, uniform p = 1e-3.
+fn d3_memory_circuit() -> Circuit {
+    MemoryExperiment {
+        distance: 3,
+        rounds: 2,
+        basis: Basis::Z,
+        noise: NoiseModel::uniform(1e-3),
+    }
+    .build()
+}
+
+/// [[8,3,2]] cube-code circuit: prepare logical |000⟩ by measuring the four
+/// Z stabilizers twice through ancillas 8..12, then read out the data in Z
+/// with final stabilizer detectors and the three logical Z observables
+/// (cube edges). Noise: data X errors each round plus ancilla measurement
+/// flips.
+fn code832_circuit() -> Circuit {
+    let p = 1e-3;
+    let data: Vec<u32> = (0..8).collect();
+    let anc: Vec<u32> = (8..12).collect();
+    let n_anc = anc.len();
+    let mut c = Circuit::new();
+    c.r(&[data.clone(), anc.clone()].concat());
+    for round in 0..2 {
+        c.x_error(&data, p);
+        for (i, &stab) in Z_STABILIZER_GENERATORS.iter().enumerate() {
+            let pairs: Vec<(u32, u32)> = (0..8)
+                .filter(|&v| stab >> v & 1 == 1)
+                .map(|v| (v as u32, anc[i]))
+                .collect();
+            c.cx(&pairs);
+        }
+        c.x_error(&anc, p);
+        c.mr(&anc);
+        for i in 0..n_anc {
+            if round == 0 {
+                // First round: the stabilizers of |0...0⟩ are deterministic.
+                c.detector(&[MeasRecord::back(n_anc - i)]);
+            } else {
+                c.detector(&[MeasRecord::back(n_anc - i), MeasRecord::back(2 * n_anc - i)]);
+            }
+        }
+    }
+    c.x_error(&data, p);
+    c.m(&data);
+    // Final stabilizer checks against the last ancilla round.
+    for (i, &stab) in Z_STABILIZER_GENERATORS.iter().enumerate() {
+        let mut recs: Vec<MeasRecord> = (0..8u32)
+            .filter(|&v| stab >> v & 1 == 1)
+            .map(|v| MeasRecord::back(8 - v as usize))
+            .collect();
+        recs.push(MeasRecord::back(8 + n_anc - i));
+        c.detector(&recs);
+    }
+    for (k, &logical) in Z_LOGICALS.iter().enumerate() {
+        let recs: Vec<MeasRecord> = (0..8u32)
+            .filter(|&v| logical >> v & 1 == 1)
+            .map(|v| MeasRecord::back(8 - v as usize))
+            .collect();
+        c.observable_include(k, &recs);
+    }
+    c
+}
+
+#[test]
+fn d3_rotated_memory_dem_matches_fixture() {
+    let dem = DetectorErrorModel::from_circuit(&d3_memory_circuit());
+    assert_eq!(dem.num_detectors, 16, "4 + 8 + 4 detectors over two rounds");
+    assert_eq!(dem.num_observables, 1);
+    assert_golden(&dem_to_text(&dem), "d3_rotated_memory.dem");
+}
+
+#[test]
+fn code832_dem_matches_fixture() {
+    let circuit = code832_circuit();
+    let dem = DetectorErrorModel::from_circuit(&circuit);
+    assert_eq!(dem.num_detectors, 12);
+    assert_eq!(dem.num_observables, 3);
+    assert_golden(&dem_to_text(&dem), "code832.dem");
+}
+
+#[test]
+fn fixtures_parse_back_losslessly() {
+    for circuit in [d3_memory_circuit(), code832_circuit()] {
+        let dem = DetectorErrorModel::from_circuit(&circuit);
+        let text = dem_to_text(&dem);
+        let parsed = parse_dem(&text).expect("fixture text parses");
+        assert_eq!(parsed.num_detectors, dem.num_detectors);
+        assert_eq!(parsed.num_observables, dem.num_observables);
+        assert_eq!(parsed.errors, dem.errors);
+        assert_eq!(dem_to_text(&parsed), text, "round trip is byte-stable");
+    }
+}
+
+#[test]
+fn code832_circuit_detectors_are_deterministic() {
+    // Sanity for the fixture circuit itself: every detector is a valid
+    // parity check and the observables are deterministic.
+    use raa::stabsim::TableauSim;
+    let c = code832_circuit();
+    let reference = TableauSim::reference_sample(&c);
+    for d in 0..c.num_detectors() {
+        let parity = c
+            .detector_measurements(d)
+            .iter()
+            .fold(false, |acc, &m| acc ^ reference[m]);
+        assert!(!parity, "detector {d} not deterministic");
+    }
+    for o in 0..c.num_observables() {
+        let parity = c
+            .observable(o)
+            .iter()
+            .fold(false, |acc, &m| acc ^ reference[m]);
+        assert!(!parity, "observable {o} not deterministic");
+    }
+}
