@@ -13,7 +13,9 @@
 //! * [`bp`] — belief-propagation reweighting ahead of union–find;
 //! * [`windowed`] — sliding-window decoding over the circuit's time axis;
 //! * [`mc`] — the sample → decode → compare Monte-Carlo harness, sharded
-//!   across threads with deterministic per-batch seeding.
+//!   across threads with deterministic per-batch seeding; sampling goes
+//!   through the [`mc::Sampler`] trait (gate-level [`mc::CircuitSampler`]
+//!   or the compiled-DEM fast path of [`raa_stabsim::DemSampler`]).
 //!
 //! Correlated decoding across transversal gates (paper §II.4) needs no
 //! special machinery here: the decoding graph is built from the DEM of the
@@ -92,7 +94,7 @@ pub mod windowed;
 pub use bp::{BeliefPropagation, BpUfScratch, BpUnionFindDecoder};
 pub use graph::{DecodingGraph, Edge, GraphError};
 pub use matching::{MatchScratch, MatchingDecoder};
-pub use mc::{DecodeStats, McConfig, SeedPolicy};
+pub use mc::{CircuitSampler, DecodeStats, McConfig, Sampler, SeedPolicy};
 pub use unionfind::{UfScratch, UnionFindDecoder, UnionFindOutcome};
 pub use windowed::{LayerAssignment, UniformLayers, WindowScratch, WindowedDecoder};
 

@@ -7,17 +7,114 @@
 //! in batch order — so for a given seed the returned [`DecodeStats`] are
 //! **bit-identical regardless of thread count**.
 //!
-//! Inside a batch the pipeline is allocation-free per shot: detector bits
-//! are transposed once into a shot-major [`SyndromeBatch`], syndromes are
-//! extracted into a reused buffer by word-skipping scans, and decoding goes
-//! through [`Decoder::predict_into`] with a per-worker scratch.
+//! Inside a batch the pipeline is allocation-free in steady state: shots
+//! are drawn through a [`Sampler`] straight into the per-worker shot-major
+//! buffers (a [`SyndromeBatch`] of detector bits plus one packed
+//! observable mask per shot — [`DemSampler`] writes them natively;
+//! [`CircuitSampler`] simulates into a detector-major
+//! [`DetectorSamples`] scratch and transposes), syndromes are extracted
+//! into a reused buffer by word-skipping scans, and decoding goes through
+//! [`Decoder::predict_into`] with a per-worker scratch.
+//!
+//! Two samplers are provided: [`CircuitSampler`] re-simulates the circuit
+//! through the Pauli-frame simulator (cost ∝ circuit ops × qubits per
+//! batch), while [`DemSampler`] samples a precompiled detector error model
+//! directly (cost ∝ mechanisms + hits) — the fast path for deep
+//! below-threshold estimates, where it is typically an order of magnitude
+//! faster. Both draw from the same per-batch RNG streams, so each keeps
+//! the bit-identical-across-thread-counts guarantee (though the two
+//! samplers' streams — and, for depolarizing channels, their exact
+//! distributions — differ from each other).
 
 use crate::Decoder;
-use raa_stabsim::{Circuit, FrameSim, SyndromeBatch};
+use raa_stabsim::{Circuit, DemSampler, DetectorSamples, FrameSim, SyndromeBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A source of decoder-ready samples for the Monte-Carlo pipeline.
+///
+/// Implementations draw `shots` shots directly into the pipeline's native
+/// shot-major form — a [`SyndromeBatch`] of detector bits plus one packed
+/// observable mask per shot — reusing the caller's buffers and any
+/// per-worker state in `Scratch`, so the steady-state batch loop performs
+/// no heap allocation. For a fixed RNG stream the output must be
+/// deterministic — the pipeline's thread-count-independence guarantee
+/// samples each batch from its own derived stream.
+pub trait Sampler: Sync {
+    /// Per-worker reusable sampling state (e.g. frame-simulator buffers).
+    type Scratch: Default + Send;
+
+    /// Samples `shots` shots into `syndromes` + `obs_masks` (one packed
+    /// mask per shot), reusing `scratch` and the output buffers.
+    fn sample_into(
+        &self,
+        shots: usize,
+        rng: &mut StdRng,
+        scratch: &mut Self::Scratch,
+        syndromes: &mut SyndromeBatch,
+        obs_masks: &mut Vec<u64>,
+    );
+}
+
+/// Samples by re-simulating the circuit through [`FrameSim`] — the
+/// historical gate-level path, exact for all channels. The frame
+/// simulator produces detector-major planes, so this path pays a 64×64
+/// block transpose per batch on top of the gate sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitSampler<'c> {
+    circuit: &'c Circuit,
+}
+
+impl<'c> CircuitSampler<'c> {
+    /// A sampler re-simulating `circuit` per batch.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Self { circuit }
+    }
+}
+
+/// Reusable gate-level sampling state: the frame simulator's qubit planes
+/// plus the detector-major intermediate the transpose reads from.
+#[derive(Default)]
+pub struct CircuitSamplerScratch {
+    sim: FrameSim,
+    samples: DetectorSamples,
+}
+
+impl Sampler for CircuitSampler<'_> {
+    type Scratch = CircuitSamplerScratch;
+
+    fn sample_into(
+        &self,
+        shots: usize,
+        rng: &mut StdRng,
+        scratch: &mut CircuitSamplerScratch,
+        syndromes: &mut SyndromeBatch,
+        obs_masks: &mut Vec<u64>,
+    ) {
+        scratch
+            .sim
+            .sample_into(self.circuit, shots, rng, &mut scratch.samples);
+        scratch.samples.transpose_detectors_into(syndromes);
+        scratch.samples.observable_masks_into(obs_masks);
+    }
+}
+
+impl Sampler for DemSampler {
+    type Scratch = ();
+
+    fn sample_into(
+        &self,
+        shots: usize,
+        rng: &mut StdRng,
+        _scratch: &mut (),
+        syndromes: &mut SyndromeBatch,
+        obs_masks: &mut Vec<u64>,
+    ) {
+        self.sample_syndromes_into(shots, rng, syndromes, obs_masks);
+    }
+}
 
 /// Accumulated decoding statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -135,18 +232,24 @@ fn batch_seed(seed: u64, batch_index: usize) -> u64 {
     mix_seed(seed, batch_index as u64)
 }
 
-/// Per-worker pipeline state: decoder scratch plus syndrome buffers.
-struct Worker<D: Decoder> {
+/// Per-worker pipeline state: sampler scratch, decoder scratch and the
+/// shot-major sample buffers — everything reused batch to batch, so
+/// steady state performs no heap allocation.
+struct Worker<S: Sampler, D: Decoder> {
+    sampler_scratch: S::Scratch,
     scratch: D::Scratch,
     syndromes: SyndromeBatch,
+    obs_masks: Vec<u64>,
     defects: Vec<u32>,
 }
 
-impl<D: Decoder> Worker<D> {
+impl<S: Sampler, D: Decoder> Worker<S, D> {
     fn new() -> Self {
         Self {
+            sampler_scratch: S::Scratch::default(),
             scratch: D::Scratch::default(),
             syndromes: SyndromeBatch::default(),
+            obs_masks: Vec::new(),
             defects: Vec::new(),
         }
     }
@@ -154,18 +257,23 @@ impl<D: Decoder> Worker<D> {
     /// Samples and decodes one batch of shots.
     fn decode_batch(
         &mut self,
-        circuit: &Circuit,
+        sampler: &S,
         decoder: &D,
         shots: usize,
         rng: &mut StdRng,
     ) -> DecodeStats {
-        let samples = FrameSim::sample(circuit, shots, rng);
-        samples.transpose_detectors_into(&mut self.syndromes);
+        sampler.sample_into(
+            shots,
+            rng,
+            &mut self.sampler_scratch,
+            &mut self.syndromes,
+            &mut self.obs_masks,
+        );
         let mut stats = DecodeStats::default();
         for s in 0..shots {
             self.syndromes.fired_into(s, &mut self.defects);
             let predicted = decoder.predict_into(&self.defects, &mut self.scratch);
-            let actual = samples.observable_mask(s);
+            let actual = self.obs_masks[s];
             stats.shots += 1;
             if predicted != actual {
                 stats.failures += 1;
@@ -200,13 +308,18 @@ where
     }
 }
 
-/// Estimates the logical error rate of `circuit` under `decoder` from
-/// `shots` Monte-Carlo samples, with explicit seed and configuration.
+/// Estimates the logical error rate of the circuit behind `sampler` under
+/// `decoder` from `shots` Monte-Carlo samples, with explicit seed and
+/// configuration.
 ///
-/// Work is sharded into batches decoded in parallel; for a given seed the
-/// result is identical for any `cfg.threads` (see [`SeedPolicy`]).
-pub fn logical_error_rate_seeded<D: Decoder + Sync>(
-    circuit: &Circuit,
+/// This is the sampler-generic core of the pipeline: pass a
+/// [`CircuitSampler`] for gate-level re-simulation or a [`DemSampler`]
+/// (compiled from the circuit's DEM) for the fast precompiled path. Work
+/// is sharded into batches decoded in parallel; for a given seed and
+/// sampler the result is identical for any `cfg.threads` (see
+/// [`SeedPolicy`]).
+pub fn logical_error_rate_sampled<S: Sampler, D: Decoder + Sync>(
+    sampler: &S,
     decoder: &D,
     shots: usize,
     seed: u64,
@@ -220,11 +333,11 @@ pub fn logical_error_rate_seeded<D: Decoder + Sync>(
 
     if matches!(cfg.seed_policy, SeedPolicy::Sequential) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut worker = Worker::<D>::new();
+        let mut worker = Worker::<S, D>::new();
         let mut stats = DecodeStats::default();
         for b in 0..num_batches {
             let len = batch_len(shots, cfg.batch, b);
-            stats.merge(worker.decode_batch(circuit, decoder, len, &mut rng));
+            stats.merge(worker.decode_batch(sampler, decoder, len, &mut rng));
         }
         return stats;
     }
@@ -232,9 +345,9 @@ pub fn logical_error_rate_seeded<D: Decoder + Sync>(
     let per_batch: Vec<DecodeStats> = run_on_pool(cfg.threads, || {
         (0..num_batches)
             .into_par_iter()
-            .map_init(Worker::<D>::new, |worker, b| {
+            .map_init(Worker::<S, D>::new, |worker, b| {
                 let mut rng = StdRng::seed_from_u64(batch_seed(seed, b));
-                worker.decode_batch(circuit, decoder, batch_len(shots, cfg.batch, b), &mut rng)
+                worker.decode_batch(sampler, decoder, batch_len(shots, cfg.batch, b), &mut rng)
             })
             .collect()
     });
@@ -245,7 +358,19 @@ pub fn logical_error_rate_seeded<D: Decoder + Sync>(
     stats
 }
 
-/// Like [`logical_error_rate_seeded`], but stops early once
+/// [`logical_error_rate_sampled`] with a [`CircuitSampler`] over `circuit`
+/// (the historical gate-level entry point).
+pub fn logical_error_rate_seeded<D: Decoder + Sync>(
+    circuit: &Circuit,
+    decoder: &D,
+    shots: usize,
+    seed: u64,
+    cfg: &McConfig,
+) -> DecodeStats {
+    logical_error_rate_sampled(&CircuitSampler::new(circuit), decoder, shots, seed, cfg)
+}
+
+/// Like [`logical_error_rate_sampled`], but stops early once
 /// `target_failures` failures have been seen (useful deep below threshold
 /// where failures are rare); always decodes at least one batch.
 ///
@@ -256,8 +381,8 @@ pub fn logical_error_rate_seeded<D: Decoder + Sync>(
 /// *launching* batches soon after the target is reached; any speculative
 /// batches beyond `B` are discarded, keeping the result independent of
 /// thread count and timing.
-pub fn logical_error_rate_until_seeded<D: Decoder + Sync>(
-    circuit: &Circuit,
+pub fn logical_error_rate_until_sampled<S: Sampler, D: Decoder + Sync>(
+    sampler: &S,
     decoder: &D,
     max_shots: usize,
     target_failures: usize,
@@ -272,11 +397,11 @@ pub fn logical_error_rate_until_seeded<D: Decoder + Sync>(
 
     if matches!(cfg.seed_policy, SeedPolicy::Sequential) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut worker = Worker::<D>::new();
+        let mut worker = Worker::<S, D>::new();
         let mut stats = DecodeStats::default();
         for b in 0..num_batches {
             let len = batch_len(max_shots, cfg.batch, b);
-            stats.merge(worker.decode_batch(circuit, decoder, len, &mut rng));
+            stats.merge(worker.decode_batch(sampler, decoder, len, &mut rng));
             if stats.failures >= target_failures {
                 break;
             }
@@ -298,7 +423,7 @@ pub fn logical_error_rate_until_seeded<D: Decoder + Sync>(
         let results: Vec<Option<DecodeStats>> = run_on_pool(cfg.threads, || {
             (start..num_batches)
                 .into_par_iter()
-                .map_init(Worker::<D>::new, |worker, b| {
+                .map_init(Worker::<S, D>::new, |worker, b| {
                     // The round's first batch always runs, guaranteeing
                     // progress even if the scheduler claims it last (and
                     // covering the target_failures == 0 degenerate case,
@@ -308,7 +433,7 @@ pub fn logical_error_rate_until_seeded<D: Decoder + Sync>(
                     }
                     let mut rng = StdRng::seed_from_u64(batch_seed(seed, b));
                     let batch_stats = worker.decode_batch(
-                        circuit,
+                        sampler,
                         decoder,
                         batch_len(max_shots, cfg.batch, b),
                         &mut rng,
@@ -331,6 +456,26 @@ pub fn logical_error_rate_until_seeded<D: Decoder + Sync>(
         // batch always completes next round because the budget resets).
     }
     stats
+}
+
+/// [`logical_error_rate_until_sampled`] with a [`CircuitSampler`] over
+/// `circuit` (the historical gate-level entry point).
+pub fn logical_error_rate_until_seeded<D: Decoder + Sync>(
+    circuit: &Circuit,
+    decoder: &D,
+    max_shots: usize,
+    target_failures: usize,
+    seed: u64,
+    cfg: &McConfig,
+) -> DecodeStats {
+    logical_error_rate_until_sampled(
+        &CircuitSampler::new(circuit),
+        decoder,
+        max_shots,
+        target_failures,
+        seed,
+        cfg,
+    )
 }
 
 /// Estimates the logical error rate of `circuit` under `decoder`.
@@ -598,6 +743,74 @@ mod tests {
         let a = logical_error_rate_seeded(&c, &d, 5_000, 7, &cfg_a);
         let b = logical_error_rate_seeded(&c, &d, 5_000, 7, &cfg_b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dem_sampler_path_matches_circuit_path_statistically() {
+        // The compiled-DEM fast path draws from a different RNG layout than
+        // gate-level re-simulation, but the estimated logical error rate
+        // must agree within Monte-Carlo tolerance (the repetition circuit
+        // uses X errors only, so the DEM distribution is exact).
+        let p = 0.05;
+        let c = repetition(3, 3, p);
+        let d = uf(&c);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let dem_sampler = raa_stabsim::DemSampler::new(&dem);
+        let shots = 40_000;
+        let cfg = McConfig::default();
+        let circuit_rate =
+            logical_error_rate_sampled(&CircuitSampler::new(&c), &d, shots, 11, &cfg)
+                .logical_error_rate();
+        let dem_rate =
+            logical_error_rate_sampled(&dem_sampler, &d, shots, 11, &cfg).logical_error_rate();
+        assert!(
+            (circuit_rate - dem_rate).abs() < 0.004,
+            "circuit {circuit_rate} vs dem {dem_rate}"
+        );
+    }
+
+    #[test]
+    fn dem_sampler_identical_stats_across_thread_counts() {
+        let c = repetition(5, 4, 0.05);
+        let d = uf(&c);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let sampler = raa_stabsim::DemSampler::new(&dem);
+        let seed = 0xDE37;
+        let base = logical_error_rate_sampled(
+            &sampler,
+            &d,
+            10_000,
+            seed,
+            &McConfig::default().with_threads(1),
+        );
+        for threads in [2usize, 4, 8] {
+            let multi = logical_error_rate_sampled(
+                &sampler,
+                &d,
+                10_000,
+                seed,
+                &McConfig::default().with_threads(threads),
+            );
+            assert_eq!(base, multi, "threads = {threads}");
+        }
+        assert!(base.failures > 0, "p = 5% should produce failures");
+    }
+
+    #[test]
+    fn dem_sampler_early_stop_honours_failure_target() {
+        let c = repetition(3, 2, 0.2);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let sampler = raa_stabsim::DemSampler::new(&dem);
+        let stats = logical_error_rate_until_sampled(
+            &sampler,
+            &uf(&c),
+            1_000_000,
+            10,
+            5,
+            &McConfig::default(),
+        );
+        assert!(stats.failures >= 10);
+        assert!(stats.shots < 1_000_000);
     }
 
     #[test]

@@ -93,6 +93,7 @@ mod tests {
             cnots_per_round: x,
             noise: NoiseModel::uniform(4e-3),
             decoder: "union_find".into(),
+            sampler: "dem".into(),
             seed: 1,
             num_detectors: 10,
             num_dem_errors: 10,

@@ -8,13 +8,13 @@
 //! is bit-identical for any thread count or batch size.
 
 use crate::record::ExperimentRecord;
-use crate::spec::{DecoderChoice, ExperimentSpec, Scenario, ShotBudget, SweepGrid};
-use raa_decode::mc::{self, DecodeStats};
+use crate::spec::{DecoderChoice, ExperimentSpec, SamplerChoice, Scenario, ShotBudget, SweepGrid};
+use raa_decode::mc::{self, CircuitSampler, DecodeStats, Sampler};
 use raa_decode::{
     BpUnionFindDecoder, Decoder, DecodingGraph, MatchingDecoder, UniformLayers, UnionFindDecoder,
     WindowedDecoder,
 };
-use raa_stabsim::{Circuit, DetectorErrorModel};
+use raa_stabsim::{Circuit, DemSampler, DetectorErrorModel};
 use raa_surface::{GhzFanoutExperiment, MemoryExperiment, TransversalCnotExperiment};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,27 +67,43 @@ pub fn build_circuit(spec: &ExperimentSpec) -> Circuit {
     }
 }
 
-fn decode_budget<D: Decoder + Sync>(
-    circuit: &Circuit,
+fn spend_budget<S: Sampler, D: Decoder + Sync>(
+    sampler: &S,
     decoder: &D,
     spec: &ExperimentSpec,
     seed: u64,
 ) -> DecodeStats {
     match spec.shots {
         ShotBudget::Fixed(shots) => {
-            mc::logical_error_rate_seeded(circuit, decoder, shots, seed, &spec.mc)
+            mc::logical_error_rate_sampled(sampler, decoder, shots, seed, &spec.mc)
         }
         ShotBudget::UntilFailures {
             max_shots,
             target_failures,
-        } => mc::logical_error_rate_until_seeded(
-            circuit,
+        } => mc::logical_error_rate_until_sampled(
+            sampler,
             decoder,
             max_shots,
             target_failures,
             seed,
             &spec.mc,
         ),
+    }
+}
+
+/// Runs the spec's shot budget through its chosen sampling path. The DEM
+/// path compiles the engine's already-extracted `dem` (no second
+/// extraction); the circuit path re-simulates gate by gate.
+fn decode_budget<D: Decoder + Sync>(
+    circuit: &Circuit,
+    dem: &DetectorErrorModel,
+    decoder: &D,
+    spec: &ExperimentSpec,
+    seed: u64,
+) -> DecodeStats {
+    match spec.sampler {
+        SamplerChoice::Dem => spend_budget(&DemSampler::new(dem), decoder, spec, seed),
+        SamplerChoice::Circuit => spend_budget(&CircuitSampler::new(circuit), decoder, spec, seed),
     }
 }
 
@@ -130,15 +146,15 @@ pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
     let (stats, decode_seconds) = match spec.decoder {
         DecoderChoice::UnionFind => {
             let decoder = UnionFindDecoder::new(graph);
-            timed(&|| decode_budget(&circuit, &decoder, spec, decode_seed))
+            timed(&|| decode_budget(&circuit, &dem, &decoder, spec, decode_seed))
         }
         DecoderChoice::Matching => {
             let decoder = MatchingDecoder::new(graph);
-            timed(&|| decode_budget(&circuit, &decoder, spec, decode_seed))
+            timed(&|| decode_budget(&circuit, &dem, &decoder, spec, decode_seed))
         }
         DecoderChoice::BpUnionFind => {
             let decoder = BpUnionFindDecoder::new(&dem);
-            timed(&|| decode_budget(&circuit, &decoder, spec, decode_seed))
+            timed(&|| decode_budget(&circuit, &dem, &decoder, spec, decode_seed))
         }
         DecoderChoice::Windowed { commit, buffer } => {
             assert!(
@@ -154,7 +170,7 @@ pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
                 commit,
                 buffer,
             );
-            timed(&|| decode_budget(&circuit, &decoder, spec, decode_seed))
+            timed(&|| decode_budget(&circuit, &dem, &decoder, spec, decode_seed))
         }
     };
     let timing = RunTiming {
@@ -205,6 +221,7 @@ pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
         cnots_per_round,
         noise: spec.noise,
         decoder: spec.decoder.label(),
+        sampler: spec.sampler.label().into(),
         seed: spec.seed,
         num_detectors: circuit.num_detectors(),
         num_dem_errors: dem.len(),

@@ -5,10 +5,13 @@
 //! figures are calibrated against circuit-level stabilizer simulations.
 //! This crate closes that loop as a reusable pipeline instead of per-figure
 //! scripts: an [`ExperimentSpec`] pins down the code family, distance,
-//! noise, decoder, shot budget and seed, and [`run`] executes surface-code
-//! circuit construction → detector-error-model extraction → bit-packed
-//! Pauli-frame sampling → the parallel allocation-free decode pipeline of
-//! [`raa_decode::mc`] → a JSON-serializable [`ExperimentRecord`].
+//! noise, decoder, sampler, shot budget and seed, and [`run`] executes
+//! surface-code circuit construction → detector-error-model extraction →
+//! bit-packed sampling (by default straight from the compiled DEM, never
+//! re-simulating the circuit; gate-level Pauli-frame re-simulation via
+//! [`SamplerChoice::Circuit`]) → the parallel allocation-free decode
+//! pipeline of [`raa_decode::mc`] → a JSON-serializable
+//! [`ExperimentRecord`].
 //!
 //! Determinism is the load-bearing guarantee: the spec seed drives circuit
 //! construction and the per-batch Monte-Carlo streams through independent
@@ -46,7 +49,9 @@ pub mod spec;
 
 pub use engine::{build_circuit, derive_seed, run, run_sweep, run_timed, RunTiming};
 pub use record::{to_json_lines, ExperimentRecord};
-pub use spec::{DecoderChoice, ExperimentSpec, Rounds, Scenario, ShotBudget, SweepGrid};
+pub use spec::{
+    DecoderChoice, ExperimentSpec, Rounds, SamplerChoice, Scenario, ShotBudget, SweepGrid,
+};
 
 // Convenience re-exports so spec literals need no extra imports.
 pub use raa_decode::McConfig;

@@ -34,6 +34,8 @@ pub struct ExperimentRecord {
     pub noise: NoiseModel,
     /// Decoder label.
     pub decoder: String,
+    /// Sampling-path label ("dem", "circuit").
+    pub sampler: String,
     /// Spec seed.
     pub seed: u64,
     /// Detectors in the circuit.
@@ -105,6 +107,7 @@ impl ExperimentRecord {
         json_num(&mut s, "p_prep", self.noise.p_prep);
         json_num(&mut s, "p_meas", self.noise.p_meas);
         json_str(&mut s, "decoder", &self.decoder);
+        json_str(&mut s, "sampler", &self.sampler);
         // u64 seeds overflow JSON's interoperable double range: keep as text.
         json_str(&mut s, "seed", &self.seed.to_string());
         json_num(&mut s, "num_detectors", self.num_detectors as f64);
@@ -200,6 +203,7 @@ mod tests {
             cnots_per_round: None,
             noise: NoiseModel::uniform(1e-3),
             decoder: "union_find".into(),
+            sampler: "dem".into(),
             seed: u64::MAX,
             num_detectors: 24,
             num_dem_errors: 100,
@@ -228,6 +232,7 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
         assert!(j.contains("\"name\":\"t/d3\""));
         assert!(j.contains("\"cnots_per_round\":null"));
+        assert!(j.contains("\"sampler\":\"dem\""));
         assert!(j.contains("\"seed\":\"18446744073709551615\""));
         assert!(j.contains("\"p2\":0.001"));
         assert!(j.contains("\"failures\":25"));

@@ -94,6 +94,38 @@ pub enum ShotBudget {
     },
 }
 
+/// Which sampling path feeds the Monte-Carlo decode loop.
+///
+/// Both paths shard shots into the same deterministically seeded batches,
+/// so either choice is bit-identical across thread counts — but the two
+/// paths consume randomness differently, so records from one are not
+/// comparable shot-for-shot with records from the other.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SamplerChoice {
+    /// Sample the precompiled detector error model directly
+    /// ([`raa_stabsim::DemSampler`]): cost per batch scales with error
+    /// mechanisms × hit rate instead of circuit ops × qubits. The default —
+    /// the engine has already extracted the DEM for the decoder, so
+    /// sampling it is nearly free. Treats depolarizing-channel components
+    /// as independent (the standard DEM semantics, an O(p²) approximation).
+    #[default]
+    Dem,
+    /// Re-simulate the circuit through the gate-level Pauli-frame sampler
+    /// per batch ([`raa_stabsim::FrameSim`]): exact for every channel,
+    /// roughly an order of magnitude slower on deep circuits.
+    Circuit,
+}
+
+impl SamplerChoice {
+    /// Stable label used in records ("dem", "circuit").
+    pub fn label(&self) -> &'static str {
+        match self {
+            SamplerChoice::Dem => "dem",
+            SamplerChoice::Circuit => "circuit",
+        }
+    }
+}
+
 /// Which decoder the engine instantiates for a spec.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecoderChoice {
@@ -147,6 +179,8 @@ pub struct ExperimentSpec {
     pub noise: NoiseModel,
     /// Decoder to instantiate.
     pub decoder: DecoderChoice,
+    /// Sampling path feeding the decode loop (default: compiled DEM).
+    pub sampler: SamplerChoice,
     /// Shot budget.
     pub shots: ShotBudget,
     /// Base seed for circuit construction and decode streams.
@@ -158,8 +192,9 @@ pub struct ExperimentSpec {
 
 impl ExperimentSpec {
     /// A spec with the given scenario and distance and conservative
-    /// defaults: Z basis, uniform 1e-3 noise, union–find decoding, 10k
-    /// shots, seed 0, default Monte-Carlo config.
+    /// defaults: Z basis, uniform 1e-3 noise, union–find decoding,
+    /// compiled-DEM sampling, 10k shots, seed 0, default Monte-Carlo
+    /// config.
     pub fn new(name: impl Into<String>, scenario: Scenario, distance: u32) -> Self {
         Self {
             name: name.into(),
@@ -168,6 +203,7 @@ impl ExperimentSpec {
             basis: Basis::Z,
             noise: NoiseModel::uniform(1e-3),
             decoder: DecoderChoice::UnionFind,
+            sampler: SamplerChoice::default(),
             shots: ShotBudget::Fixed(10_000),
             seed: 0,
             mc: McConfig::default(),
@@ -212,6 +248,8 @@ pub struct SweepGrid {
     pub cnots_per_round: Vec<f64>,
     /// Decoders (one axis).
     pub decoders: Vec<DecoderChoice>,
+    /// Sampling path applied to every point.
+    pub sampler: SamplerChoice,
     /// Shot budget applied to every point.
     pub shots: ShotBudget,
     /// Grid seed; per-point seeds are derived from it and the point index.
@@ -232,6 +270,7 @@ impl SweepGrid {
             p_phys: vec![1e-3],
             cnots_per_round: Vec::new(),
             decoders: vec![DecoderChoice::UnionFind],
+            sampler: SamplerChoice::default(),
             shots: ShotBudget::Fixed(10_000),
             seed: 0,
             mc: McConfig::default(),
@@ -259,6 +298,12 @@ impl SweepGrid {
     /// Sets the decoder axis.
     pub fn with_decoders(mut self, decoders: Vec<DecoderChoice>) -> Self {
         self.decoders = decoders;
+        self
+    }
+
+    /// Sets the sampling path applied to every point.
+    pub fn with_sampler(mut self, sampler: SamplerChoice) -> Self {
+        self.sampler = sampler;
         self
     }
 
@@ -344,6 +389,7 @@ impl SweepGrid {
                             basis: self.basis,
                             noise: NoiseModel::uniform(p),
                             decoder,
+                            sampler: self.sampler,
                             shots: self.shots,
                             seed,
                             mc: self.mc.clone(),

@@ -6,7 +6,7 @@
 
 use raa_sim::{
     run, run_sweep, to_json_lines, DecoderChoice, ExperimentSpec, McConfig, NoiseModel, Rounds,
-    Scenario, ShotBudget, SweepGrid,
+    SamplerChoice, Scenario, ShotBudget, SweepGrid,
 };
 
 const THREADS: [usize; 3] = [1, 2, 8];
@@ -36,6 +36,39 @@ fn memory_spec_json_identical_across_thread_counts() {
         let json = run(&with_threads(&spec, threads)).to_json();
         assert_eq!(base, json, "threads = {threads}");
     }
+}
+
+#[test]
+fn both_sampler_paths_json_identical_across_thread_counts() {
+    // The compiled-DEM path (the default above) and the gate-level circuit
+    // path must each be bit-deterministic across thread counts; the two
+    // paths consume randomness differently, so their records must *differ*
+    // from each other only in sampled statistics, never in shape.
+    let mut spec = ExperimentSpec::new(
+        "determinism/sampler",
+        Scenario::Memory {
+            rounds: Rounds::TimesDistance(1),
+        },
+        3,
+    );
+    spec.noise = NoiseModel::uniform(5e-3);
+    spec.shots = ShotBudget::Fixed(4_000);
+    spec.seed = 0x5A3;
+    let mut jsons = Vec::new();
+    for sampler in [SamplerChoice::Dem, SamplerChoice::Circuit] {
+        spec.sampler = sampler;
+        let base = run(&with_threads(&spec, THREADS[0])).to_json();
+        assert!(base.contains(&format!("\"sampler\":\"{}\"", sampler.label())));
+        for &threads in &THREADS[1..] {
+            let json = run(&with_threads(&spec, threads)).to_json();
+            assert_eq!(base, json, "sampler = {:?}, threads = {threads}", sampler);
+        }
+        jsons.push(base);
+    }
+    assert_ne!(
+        jsons[0], jsons[1],
+        "dem and circuit paths draw different streams"
+    );
 }
 
 #[test]

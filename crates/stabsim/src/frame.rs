@@ -16,7 +16,7 @@ use crate::circuit::{Circuit, OpKind};
 use rand::{Rng, RngExt};
 
 /// Samples of detector and observable flip bits for a batch of shots.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DetectorSamples {
     num_shots: usize,
     num_detectors: usize,
@@ -29,6 +29,40 @@ pub struct DetectorSamples {
 }
 
 impl DetectorSamples {
+    /// Clears and resizes the buffers for a batch of `num_shots` shots with
+    /// the given detector/observable counts, reusing allocations. All bits
+    /// are zero afterwards; samplers XOR flips in on top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shots` is zero or `num_observables` exceeds 64 (the
+    /// [`DetectorSamples::observable_mask`] packing limit).
+    pub fn reset(&mut self, num_shots: usize, num_detectors: usize, num_observables: usize) {
+        assert!(num_shots > 0, "need at least one shot");
+        assert!(
+            num_observables <= 64,
+            "DetectorSamples supports at most 64 observables, got {num_observables}"
+        );
+        let words = num_shots.div_ceil(64);
+        self.num_shots = num_shots;
+        self.num_detectors = num_detectors;
+        self.num_observables = num_observables;
+        self.words_per_row = words;
+        self.detectors.clear();
+        self.detectors.resize(num_detectors * words, 0);
+        self.observables.clear();
+        self.observables.resize(num_observables * words, 0);
+    }
+
+    /// Mutable access to the detector/observable planes plus the row stride,
+    /// for in-crate samplers that XOR flips directly into the bit matrices.
+    pub(crate) fn planes_mut(&mut self) -> (&mut [u64], &mut [u64], usize) {
+        (
+            &mut self.detectors,
+            &mut self.observables,
+            self.words_per_row,
+        )
+    }
     /// Number of shots.
     pub fn num_shots(&self) -> usize {
         self.num_shots
@@ -133,6 +167,27 @@ impl DetectorSamples {
         mask
     }
 
+    /// Packs every shot's observable mask into `out` (cleared and resized
+    /// to `num_shots`), skipping all-zero words — observable flips are
+    /// rare below threshold, so this is nearly free. Reuses `out`'s
+    /// allocation.
+    pub fn observable_masks_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.num_shots, 0);
+        for o in 0..self.num_observables {
+            for w in 0..self.words_per_row {
+                let mut word = self.observables[o * self.words_per_row + w];
+                while word != 0 {
+                    let s = w * 64 + word.trailing_zeros() as usize;
+                    if s < self.num_shots {
+                        out[s] |= 1 << o;
+                    }
+                    word &= word - 1;
+                }
+            }
+        }
+    }
+
     /// Fraction of shots in which at least one observable flipped.
     pub fn logical_error_rate(&self) -> f64 {
         if self.num_shots == 0 {
@@ -165,6 +220,24 @@ pub struct SyndromeBatch {
 }
 
 impl SyndromeBatch {
+    /// Clears and resizes the batch for `num_shots` shots of
+    /// `num_detectors` detectors, reusing the allocation; all bits are
+    /// zero afterwards. Samplers that produce shot-major bits natively
+    /// (the compiled DEM sampler) write in on top.
+    pub fn reset(&mut self, num_shots: usize, num_detectors: usize) {
+        self.num_shots = num_shots;
+        self.num_detectors = num_detectors;
+        self.words_per_shot = num_detectors.div_ceil(64);
+        self.bits.clear();
+        self.bits.resize(num_shots * self.words_per_shot, 0);
+    }
+
+    /// Mutable access to the raw shot-major words plus the per-shot
+    /// stride, for in-crate samplers.
+    pub(crate) fn rows_mut(&mut self) -> (&mut [u64], usize) {
+        (&mut self.bits, self.words_per_shot)
+    }
+
     /// Number of shots.
     pub fn num_shots(&self) -> usize {
         self.num_shots
@@ -240,7 +313,7 @@ fn transpose64(a: &mut [u64; 64]) {
 /// let fired: usize = (0..10_000).filter(|&s| samples.detector(s, 0)).count();
 /// assert!((fired as f64 / 10_000.0 - 0.25).abs() < 0.02);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct FrameSim {
     num_qubits: usize,
     num_shots: usize,
@@ -265,48 +338,65 @@ impl FrameSim {
         self.num_shots
     }
 
-    fn new(num_qubits: usize, num_shots: usize) -> Self {
+    fn reset(&mut self, num_qubits: usize, num_shots: usize) {
         assert!(num_shots > 0, "need at least one shot");
         let words = num_shots.div_ceil(64);
         let rem = num_shots % 64;
-        Self {
-            num_qubits,
-            num_shots,
-            words,
-            x: vec![0; num_qubits * words],
-            z: vec![0; num_qubits * words],
-            meas: Vec::new(),
-            tail_mask: if rem == 0 { !0 } else { (1u64 << rem) - 1 },
+        self.num_qubits = num_qubits;
+        self.num_shots = num_shots;
+        self.words = words;
+        self.x.clear();
+        self.x.resize(num_qubits * words, 0);
+        self.z.clear();
+        self.z.resize(num_qubits * words, 0);
+        self.meas.clear();
+        self.tail_mask = if rem == 0 { !0 } else { (1u64 << rem) - 1 };
+    }
+
+    fn run<R: Rng>(&mut self, circuit: &Circuit, num_shots: usize, rng: &mut R) {
+        self.reset(circuit.num_qubits() as usize, num_shots);
+        for op in circuit.ops() {
+            self.apply(op, rng);
         }
     }
 
     /// Samples `num_shots` shots of `circuit`, returning detector/observable flips.
     pub fn sample<R: Rng>(circuit: &Circuit, num_shots: usize, rng: &mut R) -> DetectorSamples {
-        let mut sim = Self::new(circuit.num_qubits() as usize, num_shots);
-        for op in circuit.ops() {
-            sim.apply(op, rng);
-        }
-        sim.collect(circuit)
+        let mut sim = Self::default();
+        let mut out = DetectorSamples::default();
+        sim.sample_into(circuit, num_shots, rng, &mut out);
+        out
     }
 
-    /// Samples raw measurement-flip bits (relative to the noiseless reference)
-    /// for `num_shots` shots. Row `m` of the result is measurement `m`.
+    /// Like [`FrameSim::sample`], but reuses both this simulator's frame
+    /// buffers and `out`'s bit planes: steady-state batch loops perform no
+    /// heap allocation.
+    pub fn sample_into<R: Rng>(
+        &mut self,
+        circuit: &Circuit,
+        num_shots: usize,
+        rng: &mut R,
+        out: &mut DetectorSamples,
+    ) {
+        self.run(circuit, num_shots, rng);
+        self.collect_into(circuit, out);
+    }
+
+    /// Samples raw measurement-flip bits (relative to the noiseless
+    /// reference) for `num_shots` shots, bit-packed 64 shots per word.
     pub fn sample_measurement_flips<R: Rng>(
         circuit: &Circuit,
         num_shots: usize,
         rng: &mut R,
-    ) -> Vec<Vec<bool>> {
-        let mut sim = Self::new(circuit.num_qubits() as usize, num_shots);
-        for op in circuit.ops() {
-            sim.apply(op, rng);
+    ) -> MeasurementFlips {
+        let mut sim = Self::default();
+        sim.run(circuit, num_shots, rng);
+        MeasurementFlips {
+            num_shots,
+            num_measurements: circuit.num_measurements(),
+            words_per_row: sim.words,
+            bits: std::mem::take(&mut sim.meas),
         }
-        (0..circuit.num_measurements())
-            .map(|m| {
-                (0..num_shots)
-                    .map(|s| (sim.meas[m * sim.words + s / 64] >> (s % 64)) & 1 == 1)
-                    .collect()
-            })
-            .collect()
     }
 
     #[inline]
@@ -494,19 +584,15 @@ impl FrameSim {
         });
     }
 
-    fn collect(&self, circuit: &Circuit) -> DetectorSamples {
+    fn collect_into(&self, circuit: &Circuit, out: &mut DetectorSamples) {
         let w = self.words;
         let nd = circuit.num_detectors();
         let no = circuit.num_observables();
-        // `observable_mask` packs observables into a u64; enforce the
-        // invariant here, at construction, instead of silently truncating
-        // bits at read time.
-        assert!(
-            no <= 64,
-            "DetectorSamples supports at most 64 observables, circuit declares {no}"
-        );
-        let mut detectors = vec![0u64; nd * w];
-        let mut observables = vec![0u64; no * w];
+        // `observable_mask` packs observables into a u64; `reset` enforces
+        // the ≤64-observables invariant here, at construction, instead of
+        // silently truncating bits at read time.
+        out.reset(self.num_shots, nd, no);
+        let (detectors, observables, _) = out.planes_mut();
         for (d, meas_list) in circuit.detectors().iter().enumerate() {
             for &m in meas_list {
                 for i in 0..w {
@@ -521,20 +607,49 @@ impl FrameSim {
                 }
             }
         }
-        DetectorSamples {
-            num_shots: self.num_shots,
-            num_detectors: nd,
-            num_observables: no,
-            words_per_row: w,
-            detectors,
-            observables,
-        }
+    }
+}
+
+/// Bit-packed raw measurement-flip samples: row `m` holds measurement `m`,
+/// 64 shots per word, as produced by [`FrameSim::sample_measurement_flips`].
+///
+/// Replaces the historical `Vec<Vec<bool>>` return type (one heap row per
+/// measurement, one byte per bit) with the same shot-packed `u64` layout the
+/// rest of the sampling pipeline uses.
+#[derive(Debug, Clone, Default)]
+pub struct MeasurementFlips {
+    num_shots: usize,
+    num_measurements: usize,
+    words_per_row: usize,
+    /// Measurement-major bit matrix: row `m`, word `w` at
+    /// `m * words_per_row + w`.
+    bits: Vec<u64>,
+}
+
+impl MeasurementFlips {
+    /// Number of shots per measurement.
+    pub fn num_shots(&self) -> usize {
+        self.num_shots
+    }
+
+    /// Number of measurements per shot.
+    pub fn num_measurements(&self) -> usize {
+        self.num_measurements
+    }
+
+    /// Whether measurement `m` flipped (relative to the noiseless
+    /// reference) in shot `s`.
+    pub fn flipped(&self, s: usize, m: usize) -> bool {
+        assert!(s < self.num_shots && m < self.num_measurements);
+        (self.bits[m * self.words_per_row + s / 64] >> (s % 64)) & 1 == 1
     }
 }
 
 /// Calls `f(hit_index, rng)` for each Bernoulli(p) success among `trials`
 /// independent trials, using geometric skip sampling: expected cost is
-/// O(p · trials) rather than O(trials).
+/// O(p · trials) rather than O(trials). The compiled DEM sampler
+/// ([`crate::dem_sampler`]) uses the same construction but its own
+/// ziggurat-based walk — the two are independent implementations.
 fn for_each_hit<R: Rng>(p: f64, trials: usize, rng: &mut R, mut f: impl FnMut(usize, &mut R)) {
     if trials == 0 || p <= 0.0 {
         return;

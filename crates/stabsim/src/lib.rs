@@ -15,6 +15,10 @@
 //! * [`dem`] — detector-error-model extraction by reverse sensitivity
 //!   propagation, with greedy decomposition into graphlike errors for
 //!   matching-style decoders;
+//! * [`dem_sampler`] — a compiled DEM sampler that skips circuit
+//!   re-simulation entirely: each mechanism is precompiled to a bit-packed
+//!   detector/observable footprint and batches are drawn by geometric-skip
+//!   Bernoulli walks, O(mechanisms + hits) per batch;
 //! * [`pauli`] — sparse Pauli strings for code analysis.
 //!
 //! # Example: noisy Bell-pair parity
@@ -43,6 +47,7 @@
 
 pub mod circuit;
 pub mod dem;
+pub mod dem_sampler;
 pub mod frame;
 pub mod pauli;
 pub mod tableau;
@@ -50,7 +55,8 @@ pub mod text;
 
 pub use circuit::{Circuit, MeasRecord, OpKind, Operation};
 pub use dem::{DemError, DetectorErrorModel};
-pub use frame::{DetectorSamples, FrameSim, SyndromeBatch};
+pub use dem_sampler::DemSampler;
+pub use frame::{DetectorSamples, FrameSim, MeasurementFlips, SyndromeBatch};
 pub use pauli::{Pauli, PauliString};
 pub use tableau::{MeasureResult, TableauSim};
 pub use text::{dem_to_text, parse, parse_dem, to_text, ParseError};

@@ -149,7 +149,9 @@ fn check_agreement(c: &Circuit, noisy: bool) {
     let reference = TableauSim::reference_sample(c);
     // One shot is enough: with p ∈ {0, 1} channels the flips are unique.
     let flip_rows = FrameSim::sample_measurement_flips(c, 1, &mut StdRng::seed_from_u64(1));
-    let flips: Vec<bool> = flip_rows.iter().map(|row| row[0]).collect();
+    let flips: Vec<bool> = (0..flip_rows.num_measurements())
+        .map(|m| flip_rows.flipped(0, m))
+        .collect();
     assert_eq!(flips.len(), reference.len());
     if !noisy {
         assert!(flips.iter().all(|&f| !f), "zero noise must mean no flips");

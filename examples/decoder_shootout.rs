@@ -13,7 +13,9 @@
 //! cargo run --release --example decoder_shootout
 //! ```
 
-use raa::sim::{run_timed, DecoderChoice, McConfig, Rounds, Scenario, ShotBudget, SweepGrid};
+use raa::sim::{
+    run_timed, DecoderChoice, McConfig, Rounds, SamplerChoice, Scenario, ShotBudget, SweepGrid,
+};
 
 fn main() {
     let shots: usize = std::env::var("RAA_SHOTS")
@@ -24,6 +26,13 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
+    // RAA_SAMPLER=circuit re-simulates gate by gate; the default compiled
+    // DEM path is the fast one (see the README's sampler perf notes).
+    let sampler = match std::env::var("RAA_SAMPLER").as_deref() {
+        Ok("circuit") => SamplerChoice::Circuit,
+        Ok("dem") | Err(_) => SamplerChoice::Dem,
+        Ok(other) => panic!("RAA_SAMPLER must be 'dem' or 'circuit', got {other:?}"),
+    };
     let d = 3u32;
     let p = 5e-3;
 
@@ -45,6 +54,7 @@ fn main() {
         },
     ])
     .with_shots(ShotBudget::Fixed(shots))
+    .with_sampler(sampler)
     .with_seed(99)
     .with_mc(McConfig::default().with_threads(threads));
 
@@ -58,11 +68,12 @@ fn main() {
         if first {
             println!(
                 "surface-code memory d = {d}, {} rounds, p = {p}: {} detectors, {} DEM errors \
-                 ({} arbitrary decompositions), {shots} shots\n",
+                 ({} arbitrary decompositions), {shots} shots, {} sampler\n",
                 record.se_rounds,
                 record.num_detectors,
                 record.num_dem_errors,
                 record.arbitrary_decompositions,
+                record.sampler,
             );
             first = false;
         }

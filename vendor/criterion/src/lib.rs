@@ -11,8 +11,46 @@
 //! runs; the report prints min / median / mean per-iteration times. Pass a
 //! substring on the command line (as with real criterion) to filter which
 //! benchmarks run.
+//!
+//! Two environment knobs (shim extensions, for CI and tooling):
+//!
+//! * `RAA_BENCH_FAST=1` — shrink warm-up/measurement windows so a bench
+//!   run is a smoke test (seconds, not minutes);
+//! * `RAA_BENCH_JSON=<path>` — after the run, write a machine-readable
+//!   report mapping each benchmark name to its median per-iteration time
+//!   in nanoseconds (used to record `BENCH_<n>.json` trajectories).
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Completed (name, median ns) measurements, accumulated across groups for
+/// the optional JSON report.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+
+/// Writes the `RAA_BENCH_JSON` report if requested: a single JSON object
+/// mapping benchmark name → median per-iteration nanoseconds, in run
+/// order. Called by [`criterion_main!`] after all groups finish; harmless
+/// (and silent) when the variable is unset or no benchmarks ran.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("RAA_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        // Bench names contain no characters needing JSON escapes beyond
+        // these two.
+        let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!("  \"{escaped}\": {ns}{sep}\n"));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("failed to write bench report to {path}: {e}");
+    } else {
+        println!("wrote bench report ({} entries) to {path}", results.len());
+    }
+}
 
 /// Re-export matching `criterion::black_box`.
 pub use std::hint::black_box;
@@ -133,6 +171,10 @@ impl Bencher {
         let min = self.samples[0];
         let median = self.samples[self.samples.len() / 2];
         let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        RESULTS
+            .lock()
+            .unwrap()
+            .push((name.to_string(), median.as_nanos()));
         println!(
             "{name:<50} min {:>12}  median {:>12}  mean {:>12}",
             fmt_duration(min),
@@ -171,11 +213,17 @@ impl Default for Criterion {
             .skip(1)
             .find(|a| !a.starts_with('-'))
             .filter(|a| !a.is_empty());
+        let fast = std::env::var("RAA_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0");
+        let (warm_up, measure, sample_size) = if fast {
+            (Duration::from_millis(30), Duration::from_millis(120), 5)
+        } else {
+            (Duration::from_millis(300), Duration::from_millis(1500), 20)
+        };
         Self {
             filter,
-            warm_up: Duration::from_millis(300),
-            measure: Duration::from_millis(1500),
-            sample_size: 20,
+            warm_up,
+            measure,
+            sample_size,
         }
     }
 }
@@ -260,12 +308,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, as in real criterion.
+/// Declares the bench binary's `main`, as in real criterion. Shim
+/// extension: after all groups run, the optional `RAA_BENCH_JSON` report
+/// is written (see [`write_json_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
