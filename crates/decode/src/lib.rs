@@ -11,11 +11,15 @@
 //!   sets (Dijkstra + bitmask DP), the MLE-like accuracy reference used to
 //!   calibrate the paper's decoding factor α;
 //! * [`bp`] — belief-propagation reweighting ahead of union–find;
-//! * [`windowed`] — sliding-window decoding over the circuit's time axis;
+//! * [`windowed`] — sliding-window decoding over the circuit's time axis,
+//!   with commit/buffer syndrome projection and an incremental streaming
+//!   session;
 //! * [`mc`] — the sample → decode → compare Monte-Carlo harness, sharded
 //!   across threads with deterministic per-batch seeding; sampling goes
 //!   through the [`mc::Sampler`] trait (gate-level [`mc::CircuitSampler`]
-//!   or the compiled-DEM fast path of [`raa_stabsim::DemSampler`]).
+//!   or the compiled-DEM fast path of [`raa_stabsim::DemSampler`]), and
+//!   deep circuits stream one time layer at a time through
+//!   [`mc::logical_error_rate_streamed`] with O(window) resident memory.
 //!
 //! Correlated decoding across transversal gates (paper §II.4) needs no
 //! special machinery here: the decoding graph is built from the DEM of the
@@ -96,7 +100,7 @@ pub use graph::{DecodingGraph, Edge, GraphError};
 pub use matching::{MatchScratch, MatchingDecoder};
 pub use mc::{CircuitSampler, DecodeStats, McConfig, Sampler, SeedPolicy};
 pub use unionfind::{UfScratch, UnionFindDecoder, UnionFindOutcome};
-pub use windowed::{LayerAssignment, UniformLayers, WindowScratch, WindowedDecoder};
+pub use windowed::{LayerAssignment, UniformLayers, WindowScratch, WindowState, WindowedDecoder};
 
 /// A syndrome decoder: predicts which logical observables flipped.
 ///

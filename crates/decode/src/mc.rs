@@ -26,8 +26,12 @@
 //! samplers' streams — and, for depolarizing channels, their exact
 //! distributions — differ from each other).
 
+use crate::windowed::{LayerAssignment, WindowScratch, WindowState, WindowedDecoder};
 use crate::Decoder;
-use raa_stabsim::{Circuit, DemSampler, DetectorSamples, FrameSim, SyndromeBatch};
+use raa_stabsim::{
+    Circuit, DemSampler, DetectorSamples, FrameSim, StreamingDemSampler, StreamingScratch,
+    SyndromeBatch,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -113,6 +117,35 @@ impl Sampler for DemSampler {
         obs_masks: &mut Vec<u64>,
     ) {
         self.sample_syndromes_into(shots, rng, syndromes, obs_masks);
+    }
+}
+
+/// The time-sliced sampler as a whole-batch [`Sampler`]: materializes every
+/// layer of the batch (per-layer RNG streams derived from one draw off the
+/// batch stream). This is the **batch reference entry point** for the
+/// streaming pipeline — [`logical_error_rate_streamed`] derives the
+/// identical per-layer streams, so the two produce bit-identical
+/// [`DecodeStats`] while this path spends O(circuit) memory and the
+/// streamed path O(window).
+impl Sampler for StreamingDemSampler {
+    type Scratch = StreamingScratch;
+
+    fn sample_into(
+        &self,
+        shots: usize,
+        rng: &mut StdRng,
+        scratch: &mut StreamingScratch,
+        syndromes: &mut SyndromeBatch,
+        obs_masks: &mut Vec<u64>,
+    ) {
+        let base = rng.random::<u64>();
+        self.sample_all_into(
+            shots,
+            |layer| StdRng::seed_from_u64(mix_seed(base, layer as u64)),
+            scratch,
+            syndromes,
+            obs_masks,
+        );
     }
 }
 
@@ -325,6 +358,24 @@ pub fn logical_error_rate_sampled<S: Sampler, D: Decoder + Sync>(
     seed: u64,
     cfg: &McConfig,
 ) -> DecodeStats {
+    run_batches(shots, seed, cfg, Worker::<S, D>::new, |worker, len, rng| {
+        worker.decode_batch(sampler, decoder, len, rng)
+    })
+}
+
+/// Sampler-agnostic batch orchestration: shards `shots` into `cfg.batch`
+/// batches, runs `decode_batch(worker, batch_len, batch_rng)` per batch
+/// (one reusable worker per thread via `new_worker`) and merges the
+/// per-batch statistics in batch order — the single implementation of the
+/// bit-identical-across-thread-counts contract shared by the whole-batch
+/// and streaming pipelines.
+fn run_batches<W: Send>(
+    shots: usize,
+    seed: u64,
+    cfg: &McConfig,
+    new_worker: impl Fn() -> W + Send + Sync,
+    decode_batch: impl Fn(&mut W, usize, &mut StdRng) -> DecodeStats + Send + Sync,
+) -> DecodeStats {
     assert!(cfg.batch > 0, "batch size must be positive");
     if shots == 0 {
         return DecodeStats::default();
@@ -333,11 +384,11 @@ pub fn logical_error_rate_sampled<S: Sampler, D: Decoder + Sync>(
 
     if matches!(cfg.seed_policy, SeedPolicy::Sequential) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut worker = Worker::<S, D>::new();
+        let mut worker = new_worker();
         let mut stats = DecodeStats::default();
         for b in 0..num_batches {
             let len = batch_len(shots, cfg.batch, b);
-            stats.merge(worker.decode_batch(sampler, decoder, len, &mut rng));
+            stats.merge(decode_batch(&mut worker, len, &mut rng));
         }
         return stats;
     }
@@ -345,9 +396,9 @@ pub fn logical_error_rate_sampled<S: Sampler, D: Decoder + Sync>(
     let per_batch: Vec<DecodeStats> = run_on_pool(cfg.threads, || {
         (0..num_batches)
             .into_par_iter()
-            .map_init(Worker::<S, D>::new, |worker, b| {
+            .map_init(&new_worker, |worker, b| {
                 let mut rng = StdRng::seed_from_u64(batch_seed(seed, b));
-                worker.decode_batch(sampler, decoder, batch_len(shots, cfg.batch, b), &mut rng)
+                decode_batch(worker, batch_len(shots, cfg.batch, b), &mut rng)
             })
             .collect()
     });
@@ -389,6 +440,28 @@ pub fn logical_error_rate_until_sampled<S: Sampler, D: Decoder + Sync>(
     seed: u64,
     cfg: &McConfig,
 ) -> DecodeStats {
+    run_batches_until(
+        max_shots,
+        target_failures,
+        seed,
+        cfg,
+        Worker::<S, D>::new,
+        |worker, len, rng| worker.decode_batch(sampler, decoder, len, rng),
+    )
+}
+
+/// The early-stopping counterpart of [`run_batches`]: decodes the
+/// deterministic batch prefix `0..=B`, where `B` is the first batch at
+/// which the cumulative failure count reaches `target_failures` (see
+/// [`logical_error_rate_until_sampled`] for the contract).
+fn run_batches_until<W: Send>(
+    max_shots: usize,
+    target_failures: usize,
+    seed: u64,
+    cfg: &McConfig,
+    new_worker: impl Fn() -> W + Send + Sync,
+    decode_batch: impl Fn(&mut W, usize, &mut StdRng) -> DecodeStats + Send + Sync,
+) -> DecodeStats {
     assert!(cfg.batch > 0, "batch size must be positive");
     if max_shots == 0 {
         return DecodeStats::default();
@@ -397,11 +470,11 @@ pub fn logical_error_rate_until_sampled<S: Sampler, D: Decoder + Sync>(
 
     if matches!(cfg.seed_policy, SeedPolicy::Sequential) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut worker = Worker::<S, D>::new();
+        let mut worker = new_worker();
         let mut stats = DecodeStats::default();
         for b in 0..num_batches {
             let len = batch_len(max_shots, cfg.batch, b);
-            stats.merge(worker.decode_batch(sampler, decoder, len, &mut rng));
+            stats.merge(decode_batch(&mut worker, len, &mut rng));
             if stats.failures >= target_failures {
                 break;
             }
@@ -423,7 +496,7 @@ pub fn logical_error_rate_until_sampled<S: Sampler, D: Decoder + Sync>(
         let results: Vec<Option<DecodeStats>> = run_on_pool(cfg.threads, || {
             (start..num_batches)
                 .into_par_iter()
-                .map_init(Worker::<S, D>::new, |worker, b| {
+                .map_init(&new_worker, |worker, b| {
                     // The round's first batch always runs, guaranteeing
                     // progress even if the scheduler claims it last (and
                     // covering the target_failures == 0 degenerate case,
@@ -432,12 +505,8 @@ pub fn logical_error_rate_until_sampled<S: Sampler, D: Decoder + Sync>(
                         return None;
                     }
                     let mut rng = StdRng::seed_from_u64(batch_seed(seed, b));
-                    let batch_stats = worker.decode_batch(
-                        sampler,
-                        decoder,
-                        batch_len(max_shots, cfg.batch, b),
-                        &mut rng,
-                    );
+                    let batch_stats =
+                        decode_batch(worker, batch_len(max_shots, cfg.batch, b), &mut rng);
                     round_failures.fetch_add(batch_stats.failures, Ordering::Relaxed);
                     Some(batch_stats)
                 })
@@ -475,6 +544,179 @@ pub fn logical_error_rate_until_seeded<D: Decoder + Sync>(
         target_failures,
         seed,
         cfg,
+    )
+}
+
+/// Per-worker state of the **streaming** pipeline: the sampler's rolling
+/// window, one [`WindowState`] per in-flight shot, and the shared windowed
+/// decode scratch — everything reused batch to batch. Peak resident
+/// syndrome memory is `batch × window` bits, independent of circuit depth.
+struct StreamWorker {
+    scratch: StreamingScratch,
+    states: Vec<WindowState>,
+    win: WindowScratch,
+    obs_masks: Vec<u64>,
+    defects: Vec<u32>,
+}
+
+impl StreamWorker {
+    fn new() -> Self {
+        Self {
+            scratch: StreamingScratch::default(),
+            states: Vec::new(),
+            win: WindowScratch::default(),
+            obs_masks: Vec::new(),
+            defects: Vec::new(),
+        }
+    }
+
+    /// Samples and decodes one batch of shots layer by layer: each
+    /// finalized layer's defects feed every shot's windowed decode session,
+    /// and window steps run as soon as their look-ahead is complete.
+    ///
+    /// Draws the per-layer RNG streams exactly as the [`Sampler`] impl of
+    /// [`StreamingDemSampler`] does, so for the same batch stream the
+    /// decoded realizations are bit-identical to the whole-batch path.
+    fn decode_batch<L: LayerAssignment>(
+        &mut self,
+        sampler: &StreamingDemSampler,
+        decoder: &WindowedDecoder<L>,
+        shots: usize,
+        rng: &mut StdRng,
+    ) -> DecodeStats {
+        let base = rng.random::<u64>();
+        sampler.start_batch(shots, &mut self.scratch);
+        self.obs_masks.clear();
+        self.obs_masks.resize(shots, 0);
+        if self.states.len() < shots {
+            self.states.resize_with(shots, WindowState::default);
+        }
+        for state in &mut self.states[..shots] {
+            decoder.stream_reset(state);
+        }
+        let dpl = sampler.detectors_per_layer();
+        for layer in 0..sampler.num_layers() {
+            let mut layer_rng = StdRng::seed_from_u64(mix_seed(base, layer as u64));
+            sampler.sample_next_layer(&mut layer_rng, &mut self.scratch, &mut self.obs_masks);
+            let base_det = (layer * dpl) as u32;
+            for s in 0..shots {
+                self.scratch.layer().fired_into(s, &mut self.defects);
+                for d in &mut self.defects {
+                    *d += base_det;
+                }
+                decoder.stream_push(&mut self.states[s], &self.defects);
+                decoder.stream_advance(&mut self.states[s], layer + 1, &mut self.win);
+            }
+        }
+        let mut stats = DecodeStats::default();
+        for s in 0..shots {
+            let predicted = decoder.stream_finish(&mut self.states[s], &mut self.win);
+            stats.shots += 1;
+            if predicted != self.obs_masks[s] {
+                stats.failures += 1;
+            }
+        }
+        stats
+    }
+}
+
+/// Asserts that the streaming sampler and the windowed decoder describe
+/// the same time-layered model.
+fn check_stream_compat<L: LayerAssignment>(
+    sampler: &StreamingDemSampler,
+    decoder: &WindowedDecoder<L>,
+) {
+    assert_eq!(
+        decoder.num_detectors(),
+        sampler.num_detectors(),
+        "sampler and decoder disagree on detector count"
+    );
+    assert_eq!(
+        decoder.num_layers(),
+        sampler.num_layers(),
+        "sampler and decoder disagree on layer count"
+    );
+    let dpl = sampler.detectors_per_layer();
+    for d in 0..decoder.num_detectors() as u32 {
+        assert_eq!(
+            decoder.layers().layer_of(d),
+            d as usize / dpl,
+            "decoder layering disagrees with the sampler at detector {d}"
+        );
+    }
+}
+
+/// Estimates the logical error rate through the **streaming** pipeline:
+/// shots are sampled one time layer at a time from the time-sliced
+/// `sampler` and fed straight into per-shot [`WindowedDecoder`] sessions,
+/// so resident syndrome memory is O(batch × window) — independent of
+/// circuit depth — instead of the whole-batch path's O(batch × circuit).
+///
+/// For a given seed the result is bit-identical across thread counts
+/// **and** bit-identical to the whole-batch reference entry point
+/// `logical_error_rate_sampled(sampler, decoder, ...)` with the same
+/// [`StreamingDemSampler`] (both derive the same per-layer sample streams
+/// and run the same window steps).
+///
+/// # Panics
+///
+/// Panics if sampler and decoder disagree on the layered model shape.
+///
+/// # Example
+///
+/// ```
+/// use raa_stabsim::{Circuit, MeasRecord, DetectorErrorModel, StreamingDemSampler};
+/// use raa_decode::{graph::DecodingGraph, UniformLayers, WindowedDecoder, mc, McConfig};
+///
+/// // Four rounds of one repeated measurement: one detector per layer.
+/// let mut c = Circuit::new();
+/// c.r(&[0]);
+/// for _ in 0..4 {
+///     c.x_error(&[0], 0.02);
+///     c.mr(&[0]);
+///     c.detector(&[MeasRecord::back(1)]);
+/// }
+/// c.observable_include(0, &[MeasRecord::back(1)]);
+///
+/// let dem = DetectorErrorModel::from_circuit(&c);
+/// let sampler = StreamingDemSampler::new(&dem, 1);
+/// let (graph, _) = DecodingGraph::from_dem_decomposed(&dem);
+/// let decoder = WindowedDecoder::new(graph, UniformLayers { detectors_per_layer: 1 }, 1, 1);
+/// let stats = mc::logical_error_rate_streamed(&sampler, &decoder, 2_000, 7, &McConfig::default());
+/// assert_eq!(stats.shots, 2_000);
+/// ```
+pub fn logical_error_rate_streamed<L: LayerAssignment + Sync>(
+    sampler: &StreamingDemSampler,
+    decoder: &WindowedDecoder<L>,
+    shots: usize,
+    seed: u64,
+    cfg: &McConfig,
+) -> DecodeStats {
+    check_stream_compat(sampler, decoder);
+    run_batches(shots, seed, cfg, StreamWorker::new, |worker, len, rng| {
+        worker.decode_batch(sampler, decoder, len, rng)
+    })
+}
+
+/// Like [`logical_error_rate_streamed`], but stops early once
+/// `target_failures` failures have been seen — the same deterministic
+/// batch-prefix contract as [`logical_error_rate_until_sampled`].
+pub fn logical_error_rate_until_streamed<L: LayerAssignment + Sync>(
+    sampler: &StreamingDemSampler,
+    decoder: &WindowedDecoder<L>,
+    max_shots: usize,
+    target_failures: usize,
+    seed: u64,
+    cfg: &McConfig,
+) -> DecodeStats {
+    check_stream_compat(sampler, decoder);
+    run_batches_until(
+        max_shots,
+        target_failures,
+        seed,
+        cfg,
+        StreamWorker::new,
+        |worker, len, rng| worker.decode_batch(sampler, decoder, len, rng),
     )
 }
 
@@ -811,6 +1053,98 @@ mod tests {
         );
         assert!(stats.failures >= 10);
         assert!(stats.shots < 1_000_000);
+    }
+
+    fn windowed(
+        c: &Circuit,
+        per_layer: usize,
+        commit: usize,
+        buffer: usize,
+    ) -> WindowedDecoder<crate::UniformLayers> {
+        let dem = DetectorErrorModel::from_circuit(c);
+        let (graph, _) = DecodingGraph::from_dem_decomposed(&dem);
+        WindowedDecoder::new(
+            graph,
+            crate::UniformLayers {
+                detectors_per_layer: per_layer,
+            },
+            commit,
+            buffer,
+        )
+    }
+
+    #[test]
+    fn streamed_stats_match_batch_entry_point_bit_for_bit() {
+        // The streaming pipeline and the whole-batch reference entry point
+        // (the same StreamingDemSampler through the Sampler trait) must
+        // produce identical DecodeStats: same per-layer streams, same
+        // window steps, different memory profile only.
+        let c = repetition(5, 20, 0.06);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let sampler = StreamingDemSampler::new(&dem, 4);
+        let decoder = windowed(&c, 4, 2, 3);
+        let seed = 0x57AE;
+        for batch in [64usize, 256, 1000] {
+            let cfg = McConfig::default().with_batch(batch);
+            let batch_stats = logical_error_rate_sampled(&sampler, &decoder, 3_000, seed, &cfg);
+            let streamed = logical_error_rate_streamed(&sampler, &decoder, 3_000, seed, &cfg);
+            assert_eq!(batch_stats, streamed, "batch = {batch}");
+            assert!(streamed.failures > 0, "p = 6% must fail sometimes");
+        }
+    }
+
+    #[test]
+    fn streamed_identical_stats_across_thread_counts() {
+        let c = repetition(3, 30, 0.08);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let sampler = StreamingDemSampler::new(&dem, 2);
+        let decoder = windowed(&c, 2, 2, 2);
+        let seed = 0xF10A;
+        let base = logical_error_rate_streamed(
+            &sampler,
+            &decoder,
+            6_000,
+            seed,
+            &McConfig::default().with_threads(1),
+        );
+        for threads in [2usize, 8] {
+            let multi = logical_error_rate_streamed(
+                &sampler,
+                &decoder,
+                6_000,
+                seed,
+                &McConfig::default().with_threads(threads),
+            );
+            assert_eq!(base, multi, "threads = {threads}");
+        }
+        assert!(base.failures > 0);
+    }
+
+    #[test]
+    fn streamed_early_stop_matches_batch_early_stop() {
+        let c = repetition(3, 20, 0.1);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let sampler = StreamingDemSampler::new(&dem, 2);
+        let decoder = windowed(&c, 2, 2, 2);
+        let cfg = McConfig::default();
+        let batch_stats =
+            logical_error_rate_until_sampled(&sampler, &decoder, 500_000, 20, 3, &cfg);
+        let streamed = logical_error_rate_until_streamed(&sampler, &decoder, 500_000, 20, 3, &cfg);
+        assert_eq!(batch_stats, streamed);
+        assert!(streamed.failures >= 20);
+        assert!(streamed.shots < 500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn streamed_rejects_mismatched_layering() {
+        let c = repetition(3, 20, 0.1);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let sampler = StreamingDemSampler::new(&dem, 2);
+        // Decoder built over a different circuit: detector counts disagree.
+        let c2 = repetition(3, 10, 0.1);
+        let decoder = windowed(&c2, 2, 2, 2);
+        logical_error_rate_streamed(&sampler, &decoder, 100, 1, &McConfig::default());
     }
 
     #[test]

@@ -75,6 +75,8 @@ pub struct UfScratch {
     adj_head: Vec<u32>,
     adj_next: Vec<u32>,
     adj_edge: Vec<u32>,
+    /// Edge indices of the last decode's correction, in peel order.
+    correction: Vec<u32>,
 }
 
 impl UfScratch {
@@ -115,6 +117,16 @@ impl UfScratch {
         self.adj_head.resize(num_nodes, NONE);
         self.adj_next.clear();
         self.adj_edge.clear();
+        self.correction.clear();
+    }
+
+    /// The correction of the last decode through this scratch: the graph
+    /// edge indices peeling selected, in peel order. The predicted
+    /// observable mask is the XOR of these edges' observable masks; the
+    /// windowed decoder uses the edges themselves to split a correction at
+    /// the commit boundary (syndrome projection).
+    pub fn correction(&self) -> &[u32] {
+        &self.correction
     }
 
     fn find(&mut self, mut x: u32) -> u32 {
@@ -232,6 +244,7 @@ impl UnionFindDecoder {
     /// performs no heap allocation.
     pub fn decode_into(&self, defects: &[u32], scratch: &mut UfScratch) -> UnionFindOutcome {
         if defects.is_empty() {
+            scratch.correction.clear();
             return UnionFindOutcome {
                 observables: 0,
                 converged: true,
@@ -430,6 +443,7 @@ impl UnionFindDecoder {
                         scratch.defect[p as usize] = !scratch.defect[p as usize];
                     }
                     observables ^= e.observables;
+                    scratch.correction.push(ei);
                 }
             }
         }
@@ -576,6 +590,38 @@ mod tests {
         let d = UnionFindDecoder::new(g);
         let out = d.decode(&[1]);
         assert!(!out.converged);
+    }
+
+    #[test]
+    fn correction_edges_match_outcome_and_syndrome() {
+        // The recorded correction must (a) XOR to the predicted observable
+        // mask and (b) have the decoded syndrome as its boundary (every
+        // defect toggled odd, every other detector even) — the invariant
+        // the windowed decoder's commit-boundary split relies on.
+        let d = UnionFindDecoder::new(chain_graph(0.01));
+        let mut scratch = UfScratch::default();
+        for syndrome in [vec![0u32], vec![0, 1], vec![0, 1, 2], vec![2], vec![]] {
+            let out = d.decode_into(&syndrome, &mut scratch);
+            assert!(out.converged);
+            let mut obs = 0u64;
+            let mut parity = vec![false; d.graph().num_detectors()];
+            for &ei in scratch.correction() {
+                let e = &d.graph().edges()[ei as usize];
+                obs ^= e.observables;
+                parity[e.u as usize] = !parity[e.u as usize];
+                if let Some(v) = e.v {
+                    parity[v as usize] = !parity[v as usize];
+                }
+            }
+            assert_eq!(obs, out.observables, "syndrome {syndrome:?}");
+            for (det, &p) in parity.iter().enumerate() {
+                assert_eq!(
+                    p,
+                    syndrome.contains(&(det as u32)),
+                    "syndrome {syndrome:?}, detector {det}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -10,25 +10,95 @@
 //! and slides forward. Accuracy approaches whole-circuit decoding as the
 //! buffer grows, while memory and latency stay bounded — this is what keeps
 //! the reaction time constant for arbitrarily long computations.
+//!
+//! # Commit / buffer semantics
+//!
+//! Each window step decodes every pending defect in layers
+//! `[start, start + commit + buffer)` with the inner union–find decoder,
+//! then splits the resulting correction at the commit boundary
+//! (`start + commit`):
+//!
+//! * edges entirely inside the commit region are **committed**: their
+//!   observable flips accumulate and their defects are consumed;
+//! * edges *crossing* the boundary are committed too, and the buffer-side
+//!   endpoint is toggled into the pending syndrome — the **syndrome
+//!   projection** that hands the half-finished matching to the next window;
+//! * edges entirely inside the buffer are discarded; their defects are
+//!   re-decoded by the next window with one more window of look-ahead.
+//!
+//! # Streaming
+//!
+//! The same engine runs incrementally: [`WindowedDecoder::stream_push`]
+//! feeds defects layer by layer as a streaming sampler finalizes them,
+//! [`WindowedDecoder::stream_advance`] runs every window step whose full
+//! look-ahead is available, and [`WindowedDecoder::stream_finish`] drains
+//! the tail. The batch entry point ([`Decoder::predict_into`]) is a thin
+//! wrapper over the same steps, so for identical defect sets the two are
+//! **bit-identical** — the property the streaming Monte-Carlo pipeline of
+//! [`crate::mc`] pins. Pending state per shot is the sparse projected
+//! syndrome of the open window only: O(window), not O(circuit).
 
 use crate::graph::DecodingGraph;
 use crate::unionfind::{UfScratch, UnionFindDecoder};
 use crate::Decoder;
 
-/// Reusable working state for [`WindowedDecoder`].
+/// Reusable working state for [`WindowedDecoder`] (shared across shots;
+/// the per-shot streaming state is [`WindowState`]).
 #[derive(Debug, Clone, Default)]
 pub struct WindowScratch {
     /// Inner union–find scratch.
     pub uf: UfScratch,
-    remaining: Vec<u32>,
+    /// Defects of the window currently being decoded.
     in_window: Vec<u32>,
-    committed: Vec<u32>,
+    /// Per-shot state used by the batch entry point.
+    state: WindowState,
+}
+
+/// Per-shot state of an incremental windowed decode: the pending (sparse,
+/// sorted) defects of the open window plus the committed observable flips.
+/// Reusable across shots via [`WindowedDecoder::stream_reset`].
+#[derive(Debug, Clone, Default)]
+pub struct WindowState {
+    /// Pending defects (original and projected), sorted ascending. Layers
+    /// below `start` have been consumed.
+    remaining: Vec<u32>,
+    /// First layer of the next window.
+    start: usize,
+    /// Accumulated observable flips of committed correction edges.
+    observables: u64,
+}
+
+impl WindowState {
+    /// Number of pending (uncommitted) defects — bounded by the open
+    /// window's hits, not by the circuit depth (except in the
+    /// global-fallback regime where the window covers the whole circuit).
+    pub fn pending_defects(&self) -> usize {
+        self.remaining.len()
+    }
+}
+
+/// Toggles membership of `d` in the sorted defect list (XOR semantics —
+/// projecting a defect onto a detector that already fired cancels it).
+fn toggle(remaining: &mut Vec<u32>, d: u32) {
+    match remaining.binary_search(&d) {
+        Ok(i) => {
+            remaining.remove(i);
+        }
+        Err(i) => remaining.insert(i, d),
+    }
 }
 
 /// Assigns each detector to a time layer (e.g. its SE round).
 pub trait LayerAssignment {
     /// The layer index of detector `d`.
     fn layer_of(&self, d: u32) -> usize;
+
+    /// Validates the layering against a detector count, panicking on
+    /// inconsistency. The default accepts anything; implementations should
+    /// reject parameters that would silently misassign detectors.
+    fn validate(&self, num_detectors: usize) {
+        let _ = num_detectors;
+    }
 }
 
 /// Layering by contiguous equal-size blocks of detector indices (valid for
@@ -41,11 +111,55 @@ pub struct UniformLayers {
 
 impl LayerAssignment for UniformLayers {
     fn layer_of(&self, d: u32) -> usize {
-        d as usize / self.detectors_per_layer.max(1)
+        d as usize / self.detectors_per_layer
+    }
+
+    /// Rejects a detector count the uniform layering cannot represent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detectors_per_layer` is zero or does not divide
+    /// `num_detectors` — a trailing partial layer means the block size does
+    /// not match the circuit's round structure, and every detector after
+    /// the mismatch would land in the wrong layer.
+    fn validate(&self, num_detectors: usize) {
+        raa_stabsim::validate_uniform_layers(num_detectors, self.detectors_per_layer);
     }
 }
 
 /// A sliding-window wrapper around the union–find decoder.
+///
+/// # Example: incremental (streaming) decoding
+///
+/// ```
+/// use raa_stabsim::{Circuit, MeasRecord, DetectorErrorModel};
+/// use raa_decode::{DecodingGraph, UniformLayers, WindowedDecoder, WindowScratch, WindowState};
+///
+/// // Four rounds of one repeated measurement: one detector per layer.
+/// let mut c = Circuit::new();
+/// c.r(&[0]);
+/// for _ in 0..4 {
+///     c.x_error(&[0], 0.1);
+///     c.mr(&[0]);
+///     c.detector(&[MeasRecord::back(1)]);
+/// }
+/// c.observable_include(0, &[MeasRecord::back(1)]);
+/// let dem = DetectorErrorModel::from_circuit(&c);
+/// let (graph, _) = DecodingGraph::from_dem_decomposed(&dem);
+/// let w = WindowedDecoder::new(graph, UniformLayers { detectors_per_layer: 1 }, 1, 1);
+///
+/// // One X error in round 1 fires detectors 1 and 2. Stream them in as
+/// // their layers finalize; the batch entry point gives the same answer.
+/// let per_layer: [&[u32]; 4] = [&[], &[1], &[2], &[]];
+/// let (mut state, mut scratch) = (WindowState::default(), WindowScratch::default());
+/// w.stream_reset(&mut state);
+/// for (layer, defects) in per_layer.iter().enumerate() {
+///     w.stream_push(&mut state, defects);
+///     w.stream_advance(&mut state, layer + 1, &mut scratch);
+/// }
+/// let streamed = w.stream_finish(&mut state, &mut scratch);
+/// assert_eq!(streamed, w.decode_windowed(&[1, 2]));
+/// ```
 #[derive(Debug, Clone)]
 pub struct WindowedDecoder<L: LayerAssignment> {
     inner: UnionFindDecoder,
@@ -63,9 +177,12 @@ impl<L: LayerAssignment> WindowedDecoder<L> {
     ///
     /// # Panics
     ///
-    /// Panics if `commit` is zero.
+    /// Panics if `commit` is zero, or if `layers` rejects the graph's
+    /// detector count (see [`LayerAssignment::validate`] — for
+    /// [`UniformLayers`] that is a block size that does not divide it).
     pub fn new(graph: DecodingGraph, layers: L, commit: usize, buffer: usize) -> Self {
         assert!(commit >= 1, "must commit at least one layer per window");
+        layers.validate(graph.num_detectors());
         let num_layers = (0..graph.num_detectors() as u32)
             .map(|d| layers.layer_of(d))
             .max()
@@ -84,69 +201,146 @@ impl<L: LayerAssignment> WindowedDecoder<L> {
         self.num_layers
     }
 
+    /// Detectors in the underlying decoding graph.
+    pub fn num_detectors(&self) -> usize {
+        self.inner.graph().num_detectors()
+    }
+
+    /// The layer assignment.
+    pub fn layers(&self) -> &L {
+        &self.layers
+    }
+
+    /// Whether the window covers the whole circuit, in which case every
+    /// decode falls back to one global union–find pass (exactly
+    /// whole-circuit decoding).
+    pub fn is_global(&self) -> bool {
+        self.num_layers <= self.commit + self.buffer
+    }
+
     /// Decodes by sliding a window with a fresh scratch; prefer
     /// [`WindowedDecoder::decode_windowed_into`] in loops.
     pub fn decode_windowed(&self, defects: &[u32]) -> u64 {
         self.decode_windowed_into(defects, &mut WindowScratch::default())
     }
 
-    /// Decodes by sliding a `commit + buffer` window over the layers.
-    ///
-    /// Within each window the full union–find decoder runs on the windowed
-    /// syndrome; edges whose correction crosses the commit boundary re-toggle
-    /// the boundary defects of the next window (syndrome projection). All
-    /// working state lives in `scratch`.
+    /// Decodes a full shot's defects (sorted ascending) by sliding a
+    /// `commit + buffer` window over the layers; see the [module
+    /// docs](self) for the commit/projection semantics. All working state
+    /// lives in `scratch`.
     pub fn decode_windowed_into(&self, defects: &[u32], scratch: &mut WindowScratch) -> u64 {
-        if self.num_layers <= self.commit + self.buffer {
+        if self.is_global() {
             return self.inner.predict_into(defects, &mut scratch.uf);
         }
-        scratch.remaining.clear();
-        scratch.remaining.extend_from_slice(defects);
-        let mut observables = 0u64;
-        let mut start = 0usize;
-        while start < self.num_layers {
-            let commit_end = start + self.commit;
-            let window_end = commit_end + self.buffer;
-            scratch.in_window.clear();
-            scratch
-                .in_window
-                .extend(scratch.remaining.iter().copied().filter(|&d| {
-                    let l = self.layers.layer_of(d);
-                    l >= start && l < window_end
-                }));
-            if !scratch.in_window.is_empty() {
-                // Commit only matters for the final observable mask: the
-                // windowed correction's observable flips accumulate, and the
-                // defects inside the committed region are consumed. Buffer
-                // defects are re-decoded next window; to avoid double
-                // counting their observable contributions, the committed
-                // region is decoded alone and the rest re-decoded later.
-                scratch.committed.clear();
-                scratch.committed.extend(
-                    scratch
-                        .in_window
-                        .iter()
-                        .copied()
-                        .filter(|&d| self.layers.layer_of(d) < commit_end),
-                );
-                if !scratch.committed.is_empty() {
-                    // Decode committed defects in the context of the window,
-                    // then drop them from the remaining syndrome.
-                    let commit_outcome =
-                        self.inner.decode_into(&scratch.committed, &mut scratch.uf);
-                    observables ^= commit_outcome.observables;
-                    scratch
-                        .remaining
-                        .retain(|&d| self.layers.layer_of(d) >= commit_end);
-                }
-            } else {
-                scratch
-                    .remaining
-                    .retain(|&d| self.layers.layer_of(d) >= commit_end);
-            }
-            start = commit_end;
-        }
+        // Run the incremental engine over the complete defect list: the
+        // batch and streaming entry points share every step, so they are
+        // bit-identical by construction.
+        let mut state = std::mem::take(&mut scratch.state);
+        self.stream_reset(&mut state);
+        self.stream_push(&mut state, defects);
+        let observables = self.stream_finish(&mut state, scratch);
+        scratch.state = state; // return the allocation
         observables
+    }
+
+    /// Resets a per-shot streaming state (reusing its allocation).
+    pub fn stream_reset(&self, state: &mut WindowState) {
+        state.remaining.clear();
+        state.start = 0;
+        state.observables = 0;
+    }
+
+    /// Feeds newly finalized defects (sorted ascending, no duplicates)
+    /// into the pending syndrome. Layers must arrive in order: a pushed
+    /// defect's layer must not precede a window step already run by
+    /// [`WindowedDecoder::stream_advance`].
+    pub fn stream_push(&self, state: &mut WindowState, defects: &[u32]) {
+        for &d in defects {
+            debug_assert!(
+                self.layers.layer_of(d) >= state.start,
+                "defect {d} pushed after its window was committed"
+            );
+            match state.remaining.binary_search(&d) {
+                Ok(_) => debug_assert!(false, "defect {d} pushed twice"),
+                Err(i) => state.remaining.insert(i, d),
+            }
+        }
+    }
+
+    /// Runs every window step whose full `commit + buffer` look-ahead lies
+    /// within the first `available_layers` finalized layers. In the
+    /// global-fallback regime this is a no-op (the one global decode
+    /// happens in [`WindowedDecoder::stream_finish`]).
+    pub fn stream_advance(
+        &self,
+        state: &mut WindowState,
+        available_layers: usize,
+        scratch: &mut WindowScratch,
+    ) {
+        if self.is_global() {
+            return;
+        }
+        while state.start < self.num_layers
+            && state.start + self.commit + self.buffer <= available_layers
+        {
+            self.step(state, scratch);
+        }
+    }
+
+    /// Runs the remaining window steps (every layer is now available) and
+    /// returns the accumulated observable prediction for the shot.
+    pub fn stream_finish(&self, state: &mut WindowState, scratch: &mut WindowScratch) -> u64 {
+        if self.is_global() {
+            return self.inner.predict_into(&state.remaining, &mut scratch.uf);
+        }
+        while state.start < self.num_layers {
+            self.step(state, scratch);
+        }
+        state.observables
+    }
+
+    /// One window step: decode `[start, start + commit + buffer)`, commit
+    /// the correction's first `commit` layers, project crossing edges.
+    fn step(&self, state: &mut WindowState, scratch: &mut WindowScratch) {
+        let start = state.start;
+        let commit_end = start + self.commit;
+        let window_end = commit_end + self.buffer;
+        scratch.in_window.clear();
+        scratch
+            .in_window
+            .extend(state.remaining.iter().copied().filter(|&d| {
+                let l = self.layers.layer_of(d);
+                l >= start && l < window_end
+            }));
+        if !scratch.in_window.is_empty() {
+            self.inner.decode_into(&scratch.in_window, &mut scratch.uf);
+            let edges = self.inner.graph().edges();
+            for &ei in scratch.uf.correction() {
+                let e = &edges[ei as usize];
+                let lu = self.layers.layer_of(e.u);
+                let lv = e.v.map_or(lu, |v| self.layers.layer_of(v));
+                if lu.min(lv) >= commit_end {
+                    continue; // entirely in the buffer: re-decoded later
+                }
+                state.observables ^= e.observables;
+                // A crossing edge hands its buffer-side endpoint to the
+                // next window as a projected defect.
+                if lu >= commit_end {
+                    toggle(&mut state.remaining, e.u);
+                } else if let Some(v) = e.v {
+                    if lv >= commit_end {
+                        toggle(&mut state.remaining, v);
+                    }
+                }
+            }
+        }
+        // Defects of the committed region are consumed (matched or
+        // projected forward); later layers stay pending.
+        let layers = &self.layers;
+        state
+            .remaining
+            .retain(|&d| layers.layer_of(d) >= commit_end);
+        state.start = commit_end;
     }
 }
 
@@ -223,6 +417,7 @@ mod tests {
     fn small_circuit_falls_back_to_global() {
         let c = repetition(3, 2, 0.05);
         let w = build(&c, 4, 4, 2);
+        assert!(w.is_global());
         let dem = DetectorErrorModel::from_circuit(&c);
         let (graph, _) = DecodingGraph::from_dem_decomposed(&dem);
         let global = UnionFindDecoder::new(graph);
@@ -237,6 +432,8 @@ mod tests {
         let w = build(&c, 2, 2, 4);
         // 10 rounds + final layer of 4 detectors = 11 layers.
         assert_eq!(w.num_layers(), 11);
+        assert_eq!(w.num_detectors(), 44);
+        assert!(!w.is_global());
     }
 
     #[test]
@@ -275,9 +472,135 @@ mod tests {
     }
 
     #[test]
+    fn projection_resolves_boundary_straddling_pair() {
+        // Two defects in adjacent rounds of the same chain position are one
+        // measurement-error edge. With commit = 1 the pair straddles every
+        // commit boundary; projection must still match them internally
+        // (no observable flip), where a projection-free chop would match
+        // each to its nearest boundary separately.
+        let c = repetition(5, 10, 0.01);
+        let w = build(&c, 1, 2, 4);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let (graph, _) = DecodingGraph::from_dem_decomposed(&dem);
+        let global = UnionFindDecoder::new(graph);
+        // Same chain position (detector 1 of each round block), rounds 4/5.
+        let pair = vec![4 * 4 + 1, 5 * 4 + 1];
+        assert_eq!(w.predict(&pair), global.predict(&pair));
+    }
+
+    #[test]
+    fn streaming_session_matches_batch_decode() {
+        // Feeding the same defects layer by layer through the streaming
+        // session must reproduce the batch decode bit for bit, for every
+        // commit/buffer geometry.
+        let p = 0.06;
+        let c = repetition(5, 12, p);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let sampler = raa_stabsim::DemSampler::new(&dem);
+        let shots = 400;
+        let mut syndromes = raa_stabsim::SyndromeBatch::default();
+        let mut masks = Vec::new();
+        sampler.sample_syndromes_into(
+            shots,
+            &mut StdRng::seed_from_u64(42),
+            &mut syndromes,
+            &mut masks,
+        );
+        for (commit, buffer) in [(1usize, 0usize), (1, 2), (2, 3), (3, 1)] {
+            let w = build(&c, commit, buffer, 4);
+            let mut scratch = WindowScratch::default();
+            let mut state = WindowState::default();
+            let mut defects = Vec::new();
+            let mut layer_defects = Vec::new();
+            for s in 0..shots {
+                syndromes.fired_into(s, &mut defects);
+                let batch = w.decode_windowed_into(&defects, &mut scratch);
+
+                w.stream_reset(&mut state);
+                for layer in 0..w.num_layers() {
+                    layer_defects.clear();
+                    layer_defects.extend(
+                        defects
+                            .iter()
+                            .copied()
+                            .filter(|&d| w.layers().layer_of(d) == layer),
+                    );
+                    w.stream_push(&mut state, &layer_defects);
+                    w.stream_advance(&mut state, layer + 1, &mut scratch);
+                }
+                let streamed = w.stream_finish(&mut state, &mut scratch);
+                assert_eq!(
+                    batch, streamed,
+                    "shot {s}, commit {commit}, buffer {buffer}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pending_state_stays_window_sized() {
+        // The streaming session's per-shot memory is the projected syndrome
+        // of the open window — it must not accumulate across a deep shot.
+        let c = repetition(3, 200, 0.05);
+        let w = build(&c, 2, 2, 2);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let sampler = raa_stabsim::DemSampler::new(&dem);
+        let mut syndromes = raa_stabsim::SyndromeBatch::default();
+        let mut masks = Vec::new();
+        sampler.sample_syndromes_into(
+            64,
+            &mut StdRng::seed_from_u64(9),
+            &mut syndromes,
+            &mut masks,
+        );
+        let mut scratch = WindowScratch::default();
+        let mut state = WindowState::default();
+        let mut defects = Vec::new();
+        let mut layer_defects = Vec::new();
+        let window_detectors = (2 + 2 + 1) * 2; // commit+buffer+1 layers is ample
+        for s in 0..64 {
+            syndromes.fired_into(s, &mut defects);
+            w.stream_reset(&mut state);
+            for layer in 0..w.num_layers() {
+                layer_defects.clear();
+                layer_defects.extend(
+                    defects
+                        .iter()
+                        .copied()
+                        .filter(|&d| w.layers().layer_of(d) == layer),
+                );
+                w.stream_push(&mut state, &layer_defects);
+                w.stream_advance(&mut state, layer + 1, &mut scratch);
+                assert!(
+                    state.pending_defects() <= window_detectors,
+                    "pending {} defects at layer {layer} exceeds the window",
+                    state.pending_defects()
+                );
+            }
+            w.stream_finish(&mut state, &mut scratch);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one layer")]
     fn rejects_zero_commit() {
         let c = repetition(3, 2, 0.01);
         let _ = build(&c, 0, 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_non_divisible_layer_size() {
+        // 44 detectors do not split into layers of 3: constructing the
+        // decoder must fail loudly instead of silently misassigning.
+        let c = repetition(5, 10, 0.01);
+        let _ = build(&c, 2, 2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_layer_size() {
+        let c = repetition(3, 2, 0.01);
+        let _ = build(&c, 1, 1, 0);
     }
 }

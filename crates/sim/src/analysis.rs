@@ -94,6 +94,7 @@ mod tests {
             noise: NoiseModel::uniform(4e-3),
             decoder: "union_find".into(),
             sampler: "dem".into(),
+            streaming: false,
             seed: 1,
             num_detectors: 10,
             num_dem_errors: 10,

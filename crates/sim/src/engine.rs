@@ -14,7 +14,7 @@ use raa_decode::{
     BpUnionFindDecoder, Decoder, DecodingGraph, MatchingDecoder, UniformLayers, UnionFindDecoder,
     WindowedDecoder,
 };
-use raa_stabsim::{Circuit, DemSampler, DetectorErrorModel};
+use raa_stabsim::{Circuit, DemSampler, DetectorErrorModel, StreamingDemSampler};
 use raa_surface::{GhzFanoutExperiment, MemoryExperiment, TransversalCnotExperiment};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,6 +64,50 @@ pub fn build_circuit(spec: &ExperimentSpec) -> Circuit {
             noise: spec.noise,
         }
         .build(),
+        Scenario::DeepCnot { .. } => {
+            let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, CIRCUIT_STREAM));
+            deep_cnot_experiment(spec).build(&mut rng)
+        }
+    }
+}
+
+/// The [`TransversalCnotExperiment`] behind a [`Scenario::DeepCnot`] spec:
+/// the round count is the knob, so the CNOT depth is derived as the largest
+/// depth whose schedule (one SE round after initialization plus
+/// `⌈depth / x⌉` more) emits **at most** `rounds` SE rounds — exactly
+/// `rounds` whenever `(rounds − 1) · x` is an integer, never more.
+///
+/// # Panics
+///
+/// Panics if the resolved round count is below 2 (no room for a gate).
+fn deep_cnot_experiment(spec: &ExperimentSpec) -> TransversalCnotExperiment {
+    let Scenario::DeepCnot {
+        patches,
+        rounds,
+        cnots_per_round,
+    } = spec.scenario
+    else {
+        unreachable!("only called for deep-CNOT specs")
+    };
+    let total_rounds = rounds.resolve(spec.distance);
+    assert!(
+        total_rounds >= 2,
+        "deep-CNOT needs at least two SE rounds, got {total_rounds}"
+    );
+    let rounds_for = |depth: usize| 1 + (depth as f64 / cnots_per_round).ceil() as usize;
+    // Start one above the float floor (guarding rounding dirt in the
+    // product), then step down until the schedule fits the round budget.
+    let mut depth = (((total_rounds - 1) as f64) * cnots_per_round).floor() as usize + 1;
+    while depth > 1 && rounds_for(depth) > total_rounds {
+        depth -= 1;
+    }
+    TransversalCnotExperiment {
+        distance: spec.distance,
+        patches,
+        depth,
+        cnots_per_round,
+        basis: spec.basis,
+        noise: spec.noise,
     }
 }
 
@@ -107,6 +151,34 @@ fn decode_budget<D: Decoder + Sync>(
     }
 }
 
+/// Runs the spec's shot budget through the streaming pipeline: time-sliced
+/// sampling feeding per-shot windowed decode sessions, with resident
+/// syndrome memory bounded by the decoding window instead of the circuit
+/// depth.
+fn decode_budget_streamed(
+    sampler: &StreamingDemSampler,
+    decoder: &WindowedDecoder<UniformLayers>,
+    spec: &ExperimentSpec,
+    seed: u64,
+) -> DecodeStats {
+    match spec.shots {
+        ShotBudget::Fixed(shots) => {
+            mc::logical_error_rate_streamed(sampler, decoder, shots, seed, &spec.mc)
+        }
+        ShotBudget::UntilFailures {
+            max_shots,
+            target_failures,
+        } => mc::logical_error_rate_until_streamed(
+            sampler,
+            decoder,
+            max_shots,
+            target_failures,
+            seed,
+            &spec.mc,
+        ),
+    }
+}
+
 /// Wall-clock split of one engine run. Never part of the record (records
 /// are deterministic; wall time is not).
 #[derive(Debug, Clone, Copy)]
@@ -125,8 +197,10 @@ pub struct RunTiming {
 ///
 /// # Panics
 ///
-/// Panics if [`DecoderChoice::Windowed`] is requested for a non-memory
-/// scenario (transversal circuits have no uniform time layering).
+/// Panics if [`DecoderChoice::Windowed`] is requested for a scenario
+/// without uniform time layering (anything but memory or deep-CNOT), or if
+/// `streaming` is set without a windowed decoder, without the DEM sampler,
+/// or on an unlayered scenario.
 pub fn run(spec: &ExperimentSpec) -> ExperimentRecord {
     run_timed(spec).0
 }
@@ -138,6 +212,10 @@ pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
     let dem = DetectorErrorModel::from_circuit(&circuit);
     let (graph, arbitrary) = DecodingGraph::from_dem_decomposed(&dem);
     let decode_seed = derive_seed(spec.seed, DECODE_STREAM);
+    assert!(
+        !spec.streaming || matches!(spec.decoder, DecoderChoice::Windowed { .. }),
+        "streaming decoding requires the windowed decoder"
+    );
     let timed = |decode: &dyn Fn() -> DecodeStats| {
         let t0 = Instant::now();
         let stats = decode();
@@ -157,11 +235,9 @@ pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
             timed(&|| decode_budget(&circuit, &dem, &decoder, spec, decode_seed))
         }
         DecoderChoice::Windowed { commit, buffer } => {
-            assert!(
-                matches!(spec.scenario, Scenario::Memory { .. }),
-                "windowed decoding requires the memory scenario"
+            let detectors_per_layer = spec.scenario.detectors_per_layer(spec.distance).expect(
+                "windowed decoding requires a uniformly layered scenario (memory or deep-CNOT)",
             );
-            let detectors_per_layer = (spec.distance * spec.distance - 1) as usize;
             let decoder = WindowedDecoder::new(
                 graph,
                 UniformLayers {
@@ -170,7 +246,16 @@ pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
                 commit,
                 buffer,
             );
-            timed(&|| decode_budget(&circuit, &dem, &decoder, spec, decode_seed))
+            if spec.streaming {
+                assert!(
+                    matches!(spec.sampler, SamplerChoice::Dem),
+                    "streaming decoding samples the time-sliced DEM; set the DEM sampler"
+                );
+                let sampler = StreamingDemSampler::new(&dem, detectors_per_layer);
+                timed(&|| decode_budget_streamed(&sampler, &decoder, spec, decode_seed))
+            } else {
+                timed(&|| decode_budget(&circuit, &dem, &decoder, spec, decode_seed))
+            }
         }
     };
     let timing = RunTiming {
@@ -209,6 +294,19 @@ pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
             };
             (exp.patches(), exp.cnots(), exp.se_rounds(), None)
         }
+        Scenario::DeepCnot {
+            patches,
+            cnots_per_round,
+            ..
+        } => {
+            let exp = deep_cnot_experiment(spec);
+            (
+                patches,
+                exp.depth,
+                exp.expected_se_rounds(),
+                Some(cnots_per_round),
+            )
+        }
     };
     let record = ExperimentRecord {
         name: spec.name.clone(),
@@ -222,6 +320,7 @@ pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
         noise: spec.noise,
         decoder: spec.decoder.label(),
         sampler: spec.sampler.label().into(),
+        streaming: spec.streaming,
         seed: spec.seed,
         num_detectors: circuit.num_detectors(),
         num_dem_errors: dem.len(),
@@ -358,7 +457,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "memory scenario")]
+    #[should_panic(expected = "uniformly layered scenario")]
     fn windowed_rejected_for_transversal() {
         let mut spec = ExperimentSpec::new(
             "bad",
@@ -373,6 +472,144 @@ mod tests {
             commit: 2,
             buffer: 2,
         };
+        run(&spec);
+    }
+
+    #[test]
+    fn deep_cnot_round_accounting_and_uniform_layers() {
+        let mut spec = ExperimentSpec::new(
+            "test/deep",
+            Scenario::DeepCnot {
+                patches: 2,
+                rounds: Rounds::Fixed(7),
+                cnots_per_round: 2.0,
+            },
+            3,
+        );
+        spec.noise = raa_surface::NoiseModel::uniform(2e-3);
+        spec.shots = ShotBudget::Fixed(500);
+        let circuit = build_circuit(&spec);
+        let dpl = spec.scenario.detectors_per_layer(3).unwrap();
+        assert_eq!(dpl, 16);
+        // The round knob is honoured and the detectors layer uniformly.
+        assert_eq!(circuit.num_detectors() % dpl, 0);
+        assert_eq!(circuit.num_detectors() / dpl, 7);
+        let r = run(&spec);
+        assert_eq!(r.scenario, "deep_cnot");
+        assert_eq!(r.se_rounds, 7);
+        assert_eq!(r.cnots, 12, "depth = (rounds-1) * x");
+        assert_eq!(r.cnots_per_round, Some(2.0));
+        assert!(r.error_per_cnot().is_some());
+    }
+
+    #[test]
+    fn deep_cnot_fractional_x_never_exceeds_round_budget() {
+        // The depth derivation must respect the round knob even when
+        // (rounds-1) * x is fractional: at most `rounds` SE rounds,
+        // exactly `rounds` when the product is clean.
+        for (rounds, x, want_rounds) in [
+            (4usize, 0.7, 4usize),
+            (2, 1.5, 2),
+            // x = 0.5 reaches only odd round counts (1 + 2 per gate): an
+            // even budget lands one short, never over.
+            (60, 0.5, 59),
+            (61, 0.5, 61),
+            (7, 2.0, 7),
+        ] {
+            let mut spec = ExperimentSpec::new(
+                "test/deep-frac",
+                Scenario::DeepCnot {
+                    patches: 2,
+                    rounds: Rounds::Fixed(rounds),
+                    cnots_per_round: x,
+                },
+                3,
+            );
+            spec.noise = raa_surface::NoiseModel::uniform(1e-3);
+            let circuit = build_circuit(&spec);
+            let layers = circuit.num_detectors() / spec.scenario.detectors_per_layer(3).unwrap();
+            assert!(layers <= rounds, "rounds={rounds} x={x}: emitted {layers}");
+            assert_eq!(layers, want_rounds, "rounds={rounds} x={x}");
+        }
+    }
+
+    #[test]
+    fn streaming_spec_runs_and_is_thread_deterministic() {
+        let mut spec = ExperimentSpec::new(
+            "test/streaming",
+            Scenario::Memory {
+                rounds: Rounds::Fixed(12),
+            },
+            3,
+        );
+        spec.noise = raa_surface::NoiseModel::uniform(4e-3);
+        spec.shots = ShotBudget::Fixed(1_500);
+        spec.decoder = DecoderChoice::Windowed {
+            commit: 2,
+            buffer: 3,
+        };
+        spec.streaming = true;
+        spec.seed = 0x5EED;
+        let base = run(&ExperimentSpec {
+            mc: McConfig::default().with_threads(1),
+            ..spec.clone()
+        });
+        assert!(base.to_json().contains("\"streaming\":true"));
+        assert_eq!(base.shots, 1_500);
+        for threads in [2usize, 8] {
+            let multi = run(&ExperimentSpec {
+                mc: McConfig::default().with_threads(threads),
+                ..spec.clone()
+            });
+            assert_eq!(base.to_json(), multi.to_json(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn streaming_deep_cnot_runs() {
+        let mut spec = ExperimentSpec::new(
+            "test/deep-streaming",
+            Scenario::DeepCnot {
+                patches: 2,
+                rounds: Rounds::TimesDistance(4),
+                cnots_per_round: 1.0,
+            },
+            3,
+        );
+        spec.noise = raa_surface::NoiseModel::uniform(2e-3);
+        spec.shots = ShotBudget::Fixed(400);
+        spec.decoder = DecoderChoice::Windowed {
+            commit: 2,
+            buffer: 4,
+        };
+        spec.streaming = true;
+        let r = run(&spec);
+        assert_eq!(r.shots, 400);
+        assert_eq!(r.se_rounds, 12);
+        // 11 transversal CNOTs at d = 3: the shot-level rate is dominated
+        // by the gate count (the per-CNOT rate is what the paper plots).
+        assert!(r.logical_error_rate() < 0.3);
+        assert!(r.error_per_cnot().unwrap() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the windowed decoder")]
+    fn streaming_rejected_without_windowed_decoder() {
+        let mut spec = memory_spec();
+        spec.streaming = true;
+        run(&spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "set the DEM sampler")]
+    fn streaming_rejected_with_circuit_sampler() {
+        let mut spec = memory_spec();
+        spec.decoder = DecoderChoice::Windowed {
+            commit: 2,
+            buffer: 2,
+        };
+        spec.sampler = SamplerChoice::Circuit;
+        spec.streaming = true;
         run(&spec);
     }
 

@@ -21,6 +21,14 @@
 //! decoders) into specs with per-point derived seeds, and [`analysis`]
 //! fits the resulting records to Eq. (4) via [`raa_core::fit`].
 //!
+//! Deep circuits (memory at `rounds ≥ 20·d`, or the repeated-CNOT
+//! [`Scenario::DeepCnot`] workload) stream: with `spec.streaming = true`
+//! and a windowed decoder, sampling and decoding proceed one detector time
+//! layer at a time through the time-sliced pipeline of
+//! [`raa_decode::mc::logical_error_rate_streamed`], keeping resident
+//! syndrome memory bounded by the decoding window instead of the circuit
+//! depth — same determinism guarantees, `"streaming":true` in the record.
+//!
 //! # Example: a seeded memory experiment
 //!
 //! ```

@@ -36,6 +36,10 @@ pub struct ExperimentRecord {
     pub decoder: String,
     /// Sampling-path label ("dem", "circuit").
     pub sampler: String,
+    /// Whether the Monte-Carlo decode streamed one time layer at a time
+    /// (bounded-memory windowed pipeline) instead of materializing whole
+    /// batches.
+    pub streaming: bool,
     /// Spec seed.
     pub seed: u64,
     /// Detectors in the circuit.
@@ -108,6 +112,7 @@ impl ExperimentRecord {
         json_num(&mut s, "p_meas", self.noise.p_meas);
         json_str(&mut s, "decoder", &self.decoder);
         json_str(&mut s, "sampler", &self.sampler);
+        json_bool(&mut s, "streaming", self.streaming);
         // u64 seeds overflow JSON's interoperable double range: keep as text.
         json_str(&mut s, "seed", &self.seed.to_string());
         json_num(&mut s, "num_detectors", self.num_detectors as f64);
@@ -166,6 +171,12 @@ fn json_str(s: &mut String, key: &str, value: &str) {
     s.push_str("\",");
 }
 
+fn json_bool(s: &mut String, key: &str, value: bool) {
+    json_key(s, key);
+    s.push_str(if value { "true" } else { "false" });
+    s.push(',');
+}
+
 fn json_num(s: &mut String, key: &str, value: f64) {
     json_key(s, key);
     if value.is_finite() {
@@ -204,6 +215,7 @@ mod tests {
             noise: NoiseModel::uniform(1e-3),
             decoder: "union_find".into(),
             sampler: "dem".into(),
+            streaming: false,
             seed: u64::MAX,
             num_detectors: 24,
             num_dem_errors: 100,
@@ -233,6 +245,10 @@ mod tests {
         assert!(j.contains("\"name\":\"t/d3\""));
         assert!(j.contains("\"cnots_per_round\":null"));
         assert!(j.contains("\"sampler\":\"dem\""));
+        assert!(j.contains("\"streaming\":false"));
+        let mut streamed = record();
+        streamed.streaming = true;
+        assert!(streamed.to_json().contains("\"streaming\":true"));
         assert!(j.contains("\"seed\":\"18446744073709551615\""));
         assert!(j.contains("\"p2\":0.001"));
         assert!(j.contains("\"failures\":25"));

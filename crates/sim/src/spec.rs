@@ -64,6 +64,21 @@ pub enum Scenario {
         /// Number of GHZ branches (≥ 2).
         targets: usize,
     },
+    /// Deep algorithm-style workload: `rounds` SE rounds (typically
+    /// [`Rounds::TimesDistance`] with a large factor — the deep-circuit
+    /// regime windowed/streaming decoding exists for) over `patches`
+    /// patches with `cnots_per_round` transversal CNOTs interleaved per
+    /// round. The round count is the knob; the CNOT depth is derived from
+    /// it. Detectors come out in uniform layers of `patches × (d² − 1)`
+    /// per round, so windowed and streaming decoding apply.
+    DeepCnot {
+        /// Number of patches (≥ 2).
+        patches: usize,
+        /// Total SE rounds (≥ 2), possibly distance-dependent.
+        rounds: Rounds,
+        /// Transversal CNOTs per SE round (the paper's `x`).
+        cnots_per_round: f64,
+    },
 }
 
 impl Scenario {
@@ -74,6 +89,19 @@ impl Scenario {
             Scenario::Memory { .. } => "memory",
             Scenario::TransversalCnot { .. } => "transversal_cnot",
             Scenario::GhzFanout { .. } => "ghz_fanout",
+            Scenario::DeepCnot { .. } => "deep_cnot",
+        }
+    }
+
+    /// Detectors per SE-round time layer at distance `distance`, for the
+    /// scenarios whose circuits emit detectors in uniform round-by-round
+    /// blocks (memory and deep-CNOT); `None` otherwise.
+    pub fn detectors_per_layer(&self, distance: u32) -> Option<usize> {
+        let per_patch = (distance * distance - 1) as usize;
+        match self {
+            Scenario::Memory { .. } => Some(per_patch),
+            Scenario::DeepCnot { patches, .. } => Some(patches * per_patch),
+            Scenario::TransversalCnot { .. } | Scenario::GhzFanout { .. } => None,
         }
     }
 }
@@ -181,6 +209,16 @@ pub struct ExperimentSpec {
     pub decoder: DecoderChoice,
     /// Sampling path feeding the decode loop (default: compiled DEM).
     pub sampler: SamplerChoice,
+    /// Stream the Monte-Carlo decode one time layer at a time
+    /// ([`raa_decode::mc::logical_error_rate_streamed`]): resident syndrome
+    /// memory is bounded by the decoding window instead of the circuit
+    /// depth, opening deep-round sweeps. Requires a
+    /// [`DecoderChoice::Windowed`] decoder, the (default) DEM sampler and a
+    /// uniformly layered scenario (memory or deep-CNOT). The streaming
+    /// path derives per-layer sample streams, so its records are not
+    /// shot-comparable with the whole-batch path — but are themselves
+    /// bit-identical across thread counts.
+    pub streaming: bool,
     /// Shot budget.
     pub shots: ShotBudget,
     /// Base seed for circuit construction and decode streams.
@@ -204,6 +242,7 @@ impl ExperimentSpec {
             noise: NoiseModel::uniform(1e-3),
             decoder: DecoderChoice::UnionFind,
             sampler: SamplerChoice::default(),
+            streaming: false,
             shots: ShotBudget::Fixed(10_000),
             seed: 0,
             mc: McConfig::default(),
@@ -250,6 +289,9 @@ pub struct SweepGrid {
     pub decoders: Vec<DecoderChoice>,
     /// Sampling path applied to every point.
     pub sampler: SamplerChoice,
+    /// Streaming (time-sliced) decoding applied to every point (see
+    /// [`ExperimentSpec::streaming`]).
+    pub streaming: bool,
     /// Shot budget applied to every point.
     pub shots: ShotBudget,
     /// Grid seed; per-point seeds are derived from it and the point index.
@@ -271,6 +313,7 @@ impl SweepGrid {
             cnots_per_round: Vec::new(),
             decoders: vec![DecoderChoice::UnionFind],
             sampler: SamplerChoice::default(),
+            streaming: false,
             shots: ShotBudget::Fixed(10_000),
             seed: 0,
             mc: McConfig::default(),
@@ -304,6 +347,13 @@ impl SweepGrid {
     /// Sets the sampling path applied to every point.
     pub fn with_sampler(mut self, sampler: SamplerChoice) -> Self {
         self.sampler = sampler;
+        self
+    }
+
+    /// Enables/disables streaming (time-sliced) decoding for every point
+    /// (see [`ExperimentSpec::streaming`]).
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
         self
     }
 
@@ -350,8 +400,11 @@ impl SweepGrid {
         assert!(!self.decoders.is_empty(), "need at least one decoder");
         if !self.cnots_per_round.is_empty() {
             assert!(
-                matches!(self.scenario, Scenario::TransversalCnot { .. }),
-                "cnots_per_round axis requires the transversal-CNOT scenario"
+                matches!(
+                    self.scenario,
+                    Scenario::TransversalCnot { .. } | Scenario::DeepCnot { .. }
+                ),
+                "cnots_per_round axis requires a CNOT scenario (transversal or deep)"
             );
         }
         let xs: Vec<Option<f64>> = if self.cnots_per_round.is_empty() {
@@ -368,14 +421,16 @@ impl SweepGrid {
                     point_index += 1;
                     for &decoder in &self.decoders {
                         let mut scenario = self.scenario;
-                        if let (
-                            Some(x),
-                            Scenario::TransversalCnot {
-                                cnots_per_round, ..
-                            },
-                        ) = (x, &mut scenario)
-                        {
-                            *cnots_per_round = x;
+                        if let Some(x) = x {
+                            match &mut scenario {
+                                Scenario::TransversalCnot {
+                                    cnots_per_round, ..
+                                }
+                                | Scenario::DeepCnot {
+                                    cnots_per_round, ..
+                                } => *cnots_per_round = x,
+                                _ => unreachable!("axis validated above"),
+                            }
                         }
                         let mut name = format!("{}/d{d}/p{p}", self.name);
                         if let Some(x) = x {
@@ -390,6 +445,7 @@ impl SweepGrid {
                             noise: NoiseModel::uniform(p),
                             decoder,
                             sampler: self.sampler,
+                            streaming: self.streaming,
                             shots: self.shots,
                             seed,
                             mc: self.mc.clone(),
@@ -468,7 +524,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "transversal-CNOT scenario")]
+    fn deep_cnot_scenario_shape() {
+        let s = Scenario::DeepCnot {
+            patches: 2,
+            rounds: Rounds::TimesDistance(20),
+            cnots_per_round: 1.0,
+        };
+        assert_eq!(s.label(), "deep_cnot");
+        assert_eq!(s.detectors_per_layer(3), Some(16));
+        assert_eq!(s.detectors_per_layer(5), Some(48));
+        assert_eq!(
+            Scenario::Memory {
+                rounds: Rounds::Fixed(2)
+            }
+            .detectors_per_layer(3),
+            Some(8)
+        );
+        assert_eq!(
+            Scenario::GhzFanout { targets: 2 }.detectors_per_layer(3),
+            None
+        );
+    }
+
+    #[test]
+    fn streaming_toggle_propagates_to_specs() {
+        let grid = SweepGrid::new(
+            "g",
+            Scenario::Memory {
+                rounds: Rounds::TimesDistance(20),
+            },
+        )
+        .with_decoders(vec![DecoderChoice::Windowed {
+            commit: 2,
+            buffer: 2,
+        }])
+        .with_streaming(true);
+        let specs = grid.specs();
+        assert!(specs.iter().all(|s| s.streaming));
+        assert!(
+            !ExperimentSpec::new(
+                "m",
+                Scenario::Memory {
+                    rounds: Rounds::Fixed(1)
+                },
+                3
+            )
+            .streaming
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "CNOT scenario")]
     fn x_axis_rejected_for_memory() {
         SweepGrid::new(
             "g",

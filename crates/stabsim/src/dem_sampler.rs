@@ -351,6 +351,36 @@ impl DemSampler {
         syndromes.reset(num_shots, self.num_detectors);
         obs_masks.clear();
         obs_masks.resize(num_shots, 0);
+        self.sample_syndromes_accumulate(num_shots, rng, syndromes, obs_masks);
+    }
+
+    /// Like [`DemSampler::sample_syndromes_into`], but XOR-accumulates on
+    /// top of `syndromes`/`obs_masks` instead of clearing them first. The
+    /// buffers must already be sized: `syndromes` reset for exactly
+    /// `num_shots` shots of this model's detector count, `obs_masks` one
+    /// entry per shot.
+    ///
+    /// This is the building block of the streaming (time-sliced) sampler,
+    /// where several slice samplers write into one rolling resident
+    /// window: bits deposited by earlier slices (boundary mechanisms
+    /// spilling forward in time) must survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers are not sized as described.
+    pub fn sample_syndromes_accumulate<R: Rng>(
+        &self,
+        num_shots: usize,
+        rng: &mut R,
+        syndromes: &mut SyndromeBatch,
+        obs_masks: &mut [u64],
+    ) {
+        assert_eq!(
+            (syndromes.num_shots(), syndromes.num_detectors()),
+            (num_shots, self.num_detectors),
+            "syndrome batch not sized for this sampler"
+        );
+        assert_eq!(obs_masks.len(), num_shots, "one observable mask per shot");
         let (rows, wps) = syndromes.rows_mut();
         if wps == 0 {
             // Detector-free model: only observable flips to record.

@@ -238,6 +238,47 @@ impl SyndromeBatch {
         (&mut self.bits, self.words_per_shot)
     }
 
+    /// Read access to the raw shot-major words plus the per-shot stride,
+    /// for in-crate samplers.
+    pub(crate) fn rows(&self) -> (&[u64], usize) {
+        (&self.bits, self.words_per_shot)
+    }
+
+    /// Sets detector `d` of shot `s` (in-crate tests building reference
+    /// batches by hand).
+    #[cfg(test)]
+    pub(crate) fn set(&mut self, s: usize, d: usize) {
+        debug_assert!(s < self.num_shots && d < self.num_detectors);
+        self.bits[s * self.words_per_shot + d / 64] |= 1u64 << (d % 64);
+    }
+
+    /// Shifts every shot row right by `bits` bit positions (detector `d`
+    /// moves to `d - bits`; the lowest `bits` detectors fall off, the top
+    /// fills with zeros). This is the roll of the streaming sampler's
+    /// resident window when a time layer is finalized.
+    pub(crate) fn shift_rows_down(&mut self, bits: usize) {
+        let w = self.words_per_shot;
+        if w == 0 || bits == 0 {
+            return;
+        }
+        let (skip, rot) = (bits / 64, bits % 64);
+        for row in self.bits.chunks_exact_mut(w) {
+            for i in 0..w {
+                let lo = if i + skip < w { row[i + skip] } else { 0 };
+                row[i] = if rot == 0 {
+                    lo
+                } else {
+                    let hi = if i + skip + 1 < w {
+                        row[i + skip + 1]
+                    } else {
+                        0
+                    };
+                    (lo >> rot) | (hi << (64 - rot))
+                };
+            }
+        }
+    }
+
     /// Number of shots.
     pub fn num_shots(&self) -> usize {
         self.num_shots

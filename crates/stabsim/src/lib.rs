@@ -48,6 +48,7 @@
 pub mod circuit;
 pub mod dem;
 pub mod dem_sampler;
+pub mod dem_slice;
 pub mod frame;
 pub mod pauli;
 pub mod tableau;
@@ -56,6 +57,10 @@ pub mod text;
 pub use circuit::{Circuit, MeasRecord, OpKind, Operation};
 pub use dem::{DemError, DetectorErrorModel};
 pub use dem_sampler::DemSampler;
+pub use dem_slice::{
+    concat_slices, slice_dem_by_layer, validate_uniform_layers, StreamingDemSampler,
+    StreamingScratch,
+};
 pub use frame::{DetectorSamples, FrameSim, MeasurementFlips, SyndromeBatch};
 pub use pauli::{Pauli, PauliString};
 pub use tableau::{MeasureResult, TableauSim};

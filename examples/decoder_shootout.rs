@@ -11,6 +11,9 @@
 //!
 //! ```sh
 //! cargo run --release --example decoder_shootout
+//! # Deep-circuit mode: stream windowed decoders one time layer at a time
+//! # (rounds = 10·d, O(window) resident syndrome memory per shot).
+//! RAA_STREAMING=1 cargo run --release --example decoder_shootout
 //! ```
 
 use raa::sim::{
@@ -33,28 +36,61 @@ fn main() {
         Ok("dem") | Err(_) => SamplerChoice::Dem,
         Ok(other) => panic!("RAA_SAMPLER must be 'dem' or 'circuit', got {other:?}"),
     };
+    // RAA_STREAMING=1 switches to the deep-circuit mode: windowed decoders
+    // only (the streaming pipeline is a windowed pipeline), 10·d rounds,
+    // buffer width as the axis — the shoot-out becomes "how much look-ahead
+    // buys whole-circuit accuracy at O(window) memory".
+    let streaming = std::env::var("RAA_STREAMING").is_ok_and(|v| !v.is_empty() && v != "0");
     let d = 3u32;
     let p = 5e-3;
 
+    let (rounds, decoders): (Rounds, Vec<DecoderChoice>) = if streaming {
+        (
+            Rounds::TimesDistance(10),
+            vec![
+                DecoderChoice::Windowed {
+                    commit: 2,
+                    buffer: 1,
+                },
+                DecoderChoice::Windowed {
+                    commit: 2,
+                    buffer: 3,
+                },
+                DecoderChoice::Windowed {
+                    commit: 2,
+                    buffer: 6,
+                },
+            ],
+        )
+    } else {
+        (
+            Rounds::TimesDistance(1),
+            vec![
+                DecoderChoice::UnionFind,
+                DecoderChoice::Matching,
+                DecoderChoice::BpUnionFind,
+                DecoderChoice::Windowed {
+                    commit: 2,
+                    buffer: 2,
+                },
+            ],
+        )
+    };
+
     let grid = SweepGrid::new(
-        "shootout",
-        Scenario::Memory {
-            rounds: Rounds::TimesDistance(1),
+        if streaming {
+            "shootout-streaming"
+        } else {
+            "shootout"
         },
+        Scenario::Memory { rounds },
     )
     .with_distances(vec![d])
     .with_p_phys(vec![p])
-    .with_decoders(vec![
-        DecoderChoice::UnionFind,
-        DecoderChoice::Matching,
-        DecoderChoice::BpUnionFind,
-        DecoderChoice::Windowed {
-            commit: 2,
-            buffer: 2,
-        },
-    ])
+    .with_decoders(decoders)
     .with_shots(ShotBudget::Fixed(shots))
     .with_sampler(sampler)
+    .with_streaming(streaming)
     .with_seed(99)
     .with_mc(McConfig::default().with_threads(threads));
 
@@ -68,12 +104,17 @@ fn main() {
         if first {
             println!(
                 "surface-code memory d = {d}, {} rounds, p = {p}: {} detectors, {} DEM errors \
-                 ({} arbitrary decompositions), {shots} shots, {} sampler\n",
+                 ({} arbitrary decompositions), {shots} shots, {} sampler{}\n",
                 record.se_rounds,
                 record.num_detectors,
                 record.num_dem_errors,
                 record.arbitrary_decompositions,
                 record.sampler,
+                if record.streaming {
+                    ", streaming (O(window) resident syndromes)"
+                } else {
+                    ""
+                },
             );
             first = false;
         }
@@ -86,9 +127,17 @@ fn main() {
         );
     }
 
-    println!(
-        "\nmore accurate decoders (matching, BP+UF) lower p_L, i.e. a smaller effective \
-         decoding factor alpha; the architecture-level impact of alpha is Fig. 13(a) \
-         (`cargo run -p raa-bench --bin fig13`)."
-    );
+    if streaming {
+        println!(
+            "\na wider look-ahead buffer approaches whole-circuit accuracy while resident \
+             syndrome memory stays O(window) per shot — the deep-circuit regime of §II.4 \
+             (the whole-batch path would grow O(rounds))."
+        );
+    } else {
+        println!(
+            "\nmore accurate decoders (matching, BP+UF) lower p_L, i.e. a smaller effective \
+             decoding factor alpha; the architecture-level impact of alpha is Fig. 13(a) \
+             (`cargo run -p raa-bench --bin fig13`)."
+        );
+    }
 }
