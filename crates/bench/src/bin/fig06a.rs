@@ -93,16 +93,24 @@ fn main() {
                  (paper at p = 1e-3 with MLE decoding: alpha ~ 1/6, Lambda ~ 20)",
                 fit.alpha, fit.lambda, fit.residual
             ));
-            header("model vs measurement at the fitted parameters");
-            row(&["x".into(), "d".into(), "measured".into(), "fitted".into()]);
-            let params = fit.to_params();
-            for pt in analysis::cnot_points(&cnot_records) {
-                row(&[
-                    fmt(pt.x),
-                    pt.distance.to_string(),
-                    fmt(pt.error_per_cnot),
-                    fmt(logical::cnot_error(&params, pt.distance, pt.x)),
-                ]);
+            if fit.lambda > 1.0 {
+                header("model vs measurement at the fitted parameters");
+                row(&["x".into(), "d".into(), "measured".into(), "fitted".into()]);
+                // Anchor the model at the sweep's own p_phys so the fitted
+                // curve is compared against the data that produced it.
+                let params = fit.to_params(p_phys);
+                for pt in analysis::cnot_points(&cnot_records) {
+                    row(&[
+                        fmt(pt.x),
+                        pt.distance.to_string(),
+                        fmt(pt.error_per_cnot),
+                        fmt(logical::cnot_error(&params, pt.distance, pt.x)),
+                    ]);
+                }
+            } else {
+                header(
+                    "fitted Lambda <= 1 (no suppression at this statistics depth); raise RAA_SHOTS",
+                );
             }
         }
         None => header("too few usable points for the Eq. (4) fit; raise RAA_SHOTS"),

@@ -20,6 +20,18 @@ pub struct CnotErrorPoint {
     pub error_per_cnot: f64,
 }
 
+impl CnotErrorPoint {
+    /// Whether the point can enter a fit: finite positive `x`, and an error
+    /// rate strictly inside `(0, 1)`.
+    pub fn is_fittable(&self) -> bool {
+        self.x.is_finite()
+            && self.x > 0.0
+            && self.error_per_cnot.is_finite()
+            && self.error_per_cnot > 0.0
+            && self.error_per_cnot < 1.0
+    }
+}
+
 /// Result of fitting Eq. (4).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitResult {
@@ -34,9 +46,42 @@ pub struct FitResult {
 }
 
 impl FitResult {
-    /// Converts the fit into model parameters (at the paper's `p_thres = 1%`,
-    /// so `p_phys = p_thres/Λ`).
-    pub fn to_params(&self) -> ErrorModelParams {
+    /// Converts the fit into model parameters anchored at the physical
+    /// error rate `p_phys` the fitted sweep actually ran at: the fitted
+    /// suppression base fixes the threshold as `p_thres = Λ · p_phys`
+    /// (Eq. 2), so the returned parameters reproduce the sweep's measured
+    /// rates at its own noise level. Re-anchor to a different hardware rate
+    /// with [`ErrorModelParams::with_p_phys`] (which keeps `p_thres`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_phys` is not finite and positive, or if the fitted Λ is
+    /// not above 1 (no suppression — the parameters would put the model at
+    /// or above threshold).
+    pub fn to_params(&self, p_phys: f64) -> ErrorModelParams {
+        assert!(
+            p_phys.is_finite() && p_phys > 0.0,
+            "sweep p_phys must be finite and positive, got {p_phys}"
+        );
+        assert!(
+            self.lambda > 1.0,
+            "fitted Lambda must exceed 1 (below-threshold), got {}",
+            self.lambda
+        );
+        ErrorModelParams {
+            c: self.c,
+            p_phys,
+            p_thres: self.lambda * p_phys,
+            alpha: self.alpha,
+        }
+    }
+
+    /// Converts the fit into model parameters at the paper's assumed
+    /// `p_thres = 1%` (so `p_phys = p_thres/Λ`) — the historical behaviour,
+    /// appropriate only when the fit came from data at the paper's operating
+    /// point. For simulation-calibrated parameters use
+    /// [`FitResult::to_params`] with the sweep's actual physical error rate.
+    pub fn to_params_paper(&self) -> ErrorModelParams {
         let p_thres = 1e-2;
         ErrorModelParams {
             c: self.c,
@@ -66,9 +111,15 @@ fn residual(points: &[CnotErrorPoint], c: f64, alpha: f64, lambda: f64) -> f64 {
 /// Uses a coarse log-grid search followed by coordinate refinement; robust
 /// for the handful-of-points fits this is used for.
 ///
-/// # Panics
+/// Returns `None` when the data cannot support a meaningful two-parameter
+/// fit instead of producing NaN/∞ or a misleading optimum:
 ///
-/// Panics if `points` is empty or any error rate is not in (0, 1).
+/// * `points` is empty, or `c` is not finite and positive;
+/// * any point is unusable (non-finite or non-positive `x`, error rate
+///   outside `(0, 1)` — saturated and zero-failure points must be filtered
+///   by the caller, see `raa-sim`'s `analysis::cnot_points`);
+/// * all points share one `(x, d)` coordinate (zero variance: α and Λ are
+///   not separately identifiable).
 ///
 /// # Example
 ///
@@ -87,19 +138,30 @@ fn residual(points: &[CnotErrorPoint], c: f64, alpha: f64, lambda: f64) -> f64 {
 ///         error_per_cnot: logical::cnot_error(&truth, d, x),
 ///     })
 ///     .collect();
-/// let fit = fit_cnot_model(&points, 0.1);
+/// let fit = fit_cnot_model(&points, 0.1).expect("distinct, in-range points");
 /// assert!((fit.alpha - 1.0 / 6.0).abs() < 0.02);
 /// assert!((fit.lambda - 10.0).abs() < 0.5);
+/// assert!(fit_cnot_model(&[], 0.1).is_none());
 /// ```
-pub fn fit_cnot_model(points: &[CnotErrorPoint], c: f64) -> FitResult {
-    assert!(!points.is_empty(), "need at least one data point");
-    for p in points {
-        assert!(
-            p.error_per_cnot > 0.0 && p.error_per_cnot < 1.0,
-            "error rates must be in (0, 1), got {}",
-            p.error_per_cnot
-        );
-        assert!(p.x > 0.0, "x must be positive");
+pub fn fit_cnot_model(points: &[CnotErrorPoint], c: f64) -> Option<FitResult> {
+    if points.is_empty() || !(c.is_finite() && c > 0.0) {
+        return None;
+    }
+    if points.iter().any(|p| !p.is_fittable()) {
+        return None;
+    }
+    // A two-parameter fit needs at least two distinct (x, d) coordinates;
+    // replicated shots at one coordinate carry no slope information and the
+    // grid search would hand back an arbitrary ridge point.
+    let distinct = {
+        let mut coords: Vec<(u64, u32)> =
+            points.iter().map(|p| (p.x.to_bits(), p.distance)).collect();
+        coords.sort_unstable();
+        coords.dedup();
+        coords.len()
+    };
+    if distinct < 2 {
+        return None;
     }
     // Coarse grid.
     let mut best = (f64::INFINITY, 0.2, 10.0);
@@ -142,12 +204,15 @@ pub fn fit_cnot_model(points: &[CnotErrorPoint], c: f64) -> FitResult {
             }
         }
     }
-    FitResult {
+    if !(a_best.is_finite() && l_best.is_finite() && r_best.is_finite()) {
+        return None;
+    }
+    Some(FitResult {
         alpha: a_best,
         lambda: l_best,
         c,
         residual: r_best,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -173,7 +238,7 @@ mod tests {
             &truth,
             &[(0.25, 7), (0.5, 9), (1.0, 11), (2.0, 13), (4.0, 15)],
         );
-        let fit = fit_cnot_model(&points, truth.c);
+        let fit = fit_cnot_model(&points, truth.c).expect("clean data");
         assert!(
             (fit.alpha - truth.alpha).abs() < 0.01,
             "alpha {}",
@@ -191,7 +256,7 @@ mod tests {
     fn recovers_larger_alpha() {
         let truth = ErrorModelParams::paper().with_alpha(0.5);
         let points = synthetic(&truth, &[(0.5, 7), (1.0, 9), (2.0, 11), (4.0, 13)]);
-        let fit = fit_cnot_model(&points, truth.c);
+        let fit = fit_cnot_model(&points, truth.c).expect("clean data");
         assert!((fit.alpha - 0.5).abs() < 0.05, "alpha {}", fit.alpha);
     }
 
@@ -203,7 +268,7 @@ mod tests {
             // ±20% multiplicative noise.
             p.error_per_cnot *= 1.0 + 0.2 * if i % 2 == 0 { 1.0 } else { -1.0 };
         }
-        let fit = fit_cnot_model(&points, truth.c);
+        let fit = fit_cnot_model(&points, truth.c).expect("noisy but distinct data");
         assert!(
             (fit.alpha - truth.alpha).abs() < 0.15,
             "alpha {}",
@@ -213,22 +278,77 @@ mod tests {
     }
 
     #[test]
-    fn to_params_round_trip() {
+    fn to_params_anchors_threshold_at_sweep_noise() {
         let fit = FitResult {
             alpha: 0.25,
             lambda: 20.0,
             c: 0.1,
             residual: 0.0,
         };
-        let params = fit.to_params();
+        // Regression for the hard-coded p_thres = 1e-2: a sweep at
+        // p2 = 4e-3 (≠ 1e-3) must anchor the threshold at Λ·p_phys, not at
+        // the paper's assumed 1%.
+        let p_sweep = 4e-3;
+        let params = fit.to_params(p_sweep);
+        assert_eq!(params.p_phys, p_sweep);
+        assert!((params.p_thres - 20.0 * p_sweep).abs() < 1e-15);
+        assert!((params.lambda() - 20.0).abs() < 1e-9);
+        assert_eq!(params.alpha, 0.25);
+        // Re-anchoring to hardware noise keeps the calibrated threshold.
+        let hw = params.with_p_phys(1e-3);
+        assert_eq!(hw.p_thres, params.p_thres);
+        assert!((hw.lambda() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_params_paper_keeps_one_percent_threshold() {
+        let fit = FitResult {
+            alpha: 0.25,
+            lambda: 20.0,
+            c: 0.1,
+            residual: 0.0,
+        };
+        let params = fit.to_params_paper();
+        assert_eq!(params.p_thres, 1e-2);
         assert!((params.lambda() - 20.0).abs() < 1e-9);
         assert_eq!(params.alpha, 0.25);
     }
 
     #[test]
-    #[should_panic(expected = "at least one")]
-    fn rejects_empty() {
-        let _ = fit_cnot_model(&[], 0.1);
+    #[should_panic(expected = "below-threshold")]
+    fn to_params_rejects_unsuppressed_fit() {
+        let fit = FitResult {
+            alpha: 0.25,
+            lambda: 0.9,
+            c: 0.1,
+            residual: 0.0,
+        };
+        let _ = fit.to_params(4e-3);
+    }
+
+    #[test]
+    fn rejects_empty_and_degenerate_inputs() {
+        assert!(fit_cnot_model(&[], 0.1).is_none(), "empty");
+        let p = |x: f64, d: u32, e: f64| CnotErrorPoint {
+            x,
+            distance: d,
+            error_per_cnot: e,
+        };
+        // All points at one (x, d): zero variance, not identifiable.
+        let replicated = vec![p(1.0, 3, 0.01), p(1.0, 3, 0.012), p(1.0, 3, 0.011)];
+        assert!(fit_cnot_model(&replicated, 0.1).is_none(), "one coordinate");
+        // Out-of-range or non-finite rates.
+        assert!(fit_cnot_model(&[p(1.0, 3, 0.0), p(2.0, 3, 0.01)], 0.1).is_none());
+        assert!(fit_cnot_model(&[p(1.0, 3, 1.0), p(2.0, 3, 0.01)], 0.1).is_none());
+        assert!(fit_cnot_model(&[p(1.0, 3, f64::NAN), p(2.0, 3, 0.01)], 0.1).is_none());
+        // Bad x.
+        assert!(fit_cnot_model(&[p(0.0, 3, 0.01), p(2.0, 3, 0.02)], 0.1).is_none());
+        assert!(fit_cnot_model(&[p(f64::INFINITY, 3, 0.01), p(2.0, 3, 0.02)], 0.1).is_none());
+        // Bad prefactor.
+        assert!(fit_cnot_model(&[p(1.0, 3, 0.01), p(2.0, 3, 0.02)], 0.0).is_none());
+        assert!(fit_cnot_model(&[p(1.0, 3, 0.01), p(2.0, 3, 0.02)], f64::NAN).is_none());
+        // Two distances at one x still identify the exponent: fittable.
+        assert!(fit_cnot_model(&[p(1.0, 3, 0.05), p(1.0, 5, 0.01)], 0.1).is_some());
     }
 
     proptest! {
@@ -247,7 +367,7 @@ mod tests {
             let points = synthetic(&truth, &grid);
             // Skip degenerate data (error rates too close to 1).
             prop_assume!(points.iter().all(|p| p.error_per_cnot < 0.3));
-            let fit = fit_cnot_model(&points, 0.1);
+            let fit = fit_cnot_model(&points, 0.1).expect("distinct grid");
             prop_assert!((fit.alpha - alpha).abs() / alpha < 0.1,
                          "alpha {} vs {}", fit.alpha, alpha);
             prop_assert!((fit.lambda - lambda).abs() / lambda < 0.1,

@@ -8,9 +8,10 @@
 use crate::record::ExperimentRecord;
 use raa_core::fit::{fit_cnot_model, CnotErrorPoint, FitResult};
 
-/// Per-CNOT error rates above which a point is dropped from fits (the model
-/// only holds well below saturation; same cut as the paper's figures).
-const MAX_FITTABLE_RATE: f64 = 0.4;
+/// Per-CNOT (and per-round) error rates above which a point is dropped from
+/// fits (the model only holds well below saturation; same cut as the
+/// paper's figures).
+pub const MAX_FITTABLE_RATE: f64 = 0.4;
 
 /// Extracts the Eq. (4) fit points from transversal-CNOT records: one point
 /// per record with a measured per-CNOT error in `(0, 0.4)`.
@@ -31,23 +32,33 @@ pub fn cnot_points(records: &[ExperimentRecord]) -> Vec<CnotErrorPoint> {
 }
 
 /// Fits (α, Λ) of Eq. (4) to the transversal-CNOT records with the
-/// prefactor `c` held fixed, or `None` with fewer than two usable points.
+/// prefactor `c` held fixed. Returns `None` with fewer than two usable
+/// points, or when the usable points cannot support the two-parameter fit
+/// (e.g. every record saturated above [`MAX_FITTABLE_RATE`], produced zero
+/// failures, or collapsed onto a single `(x, d)` coordinate — see
+/// [`raa_core::fit::fit_cnot_model`]).
 pub fn fit_eq4(records: &[ExperimentRecord], c: f64) -> Option<FitResult> {
     let points = cnot_points(records);
-    (points.len() >= 2).then(|| fit_cnot_model(&points, c))
+    if points.len() < 2 {
+        return None;
+    }
+    fit_cnot_model(&points, c)
 }
 
 /// Estimates the suppression base Λ from memory records across distances:
 /// least-squares slope of `ln(p_round)` against `(d + 1)/2` (the Eq. 4
 /// exponent), so `Λ = exp(−slope)`. Returns `None` without at least two
-/// distinct distances with nonzero error.
+/// distinct distances carrying a usable rate — nonzero, finite and below
+/// [`MAX_FITTABLE_RATE`] (saturated points carry no slope information and
+/// would drag the fit toward Λ = 1).
 pub fn memory_lambda(records: &[ExperimentRecord]) -> Option<f64> {
     let points: Vec<(f64, f64)> = records
         .iter()
         .filter(|r| r.scenario == "memory")
         .filter_map(|r| {
             let rate = r.error_per_qubit_round();
-            (rate > 0.0).then(|| (f64::from(r.distance + 1) / 2.0, rate.ln()))
+            (rate.is_finite() && rate > 0.0 && rate < MAX_FITTABLE_RATE)
+                .then(|| (f64::from(r.distance + 1) / 2.0, rate.ln()))
         })
         .collect();
     let distinct = {
@@ -67,7 +78,8 @@ pub fn memory_lambda(records: &[ExperimentRecord]) -> Option<f64> {
         .map(|&(t, y)| (t - mean_t) * (y - mean_y))
         .sum();
     let var: f64 = points.iter().map(|&(t, _)| (t - mean_t).powi(2)).sum();
-    Some((-cov / var).exp())
+    let lambda = (-cov / var).exp();
+    lambda.is_finite().then_some(lambda)
 }
 
 #[cfg(test)]
@@ -153,5 +165,56 @@ mod tests {
         ];
         assert!(memory_lambda(&records).is_none());
         assert!(memory_lambda(&[]).is_none());
+    }
+
+    #[test]
+    fn memory_lambda_rejects_saturated_and_zero_rate_records() {
+        // Every shot failing pushes the per-round rate to saturation: no
+        // usable slope, so the estimator must decline rather than report a
+        // Λ ≈ 1 artifact.
+        let saturated = vec![
+            record("memory", 3, None, 1000, 1000),
+            record("memory", 5, None, 1000, 1000),
+        ];
+        assert!(memory_lambda(&saturated).is_none());
+        // Zero failures everywhere: likewise no information.
+        let silent = vec![
+            record("memory", 3, None, 1000, 0),
+            record("memory", 5, None, 1000, 0),
+        ];
+        assert!(memory_lambda(&silent).is_none());
+        // One saturated distance must not poison a fit that still has two
+        // usable distances.
+        let mixed = vec![
+            record("memory", 3, None, 1000, 1000),
+            record("memory", 5, None, 1000, 100),
+            record("memory", 7, None, 1000, 25),
+        ];
+        let lambda = memory_lambda(&mixed).expect("two usable distances");
+        assert!(lambda > 1.0, "lambda = {lambda}");
+    }
+
+    #[test]
+    fn fit_eq4_declines_degenerate_sweeps() {
+        // All records at one (x, d): survives the point filter but cannot
+        // identify two parameters.
+        let replicated = vec![
+            record("transversal_cnot", 3, Some(1.0), 1000, 100),
+            record("transversal_cnot", 3, Some(1.0), 1000, 110),
+            record("transversal_cnot", 3, Some(1.0), 1000, 90),
+        ];
+        assert!(fit_eq4(&replicated, 0.1).is_none());
+        // Everything saturated above MAX_FITTABLE_RATE: zero usable points.
+        let saturated = vec![
+            record("transversal_cnot", 3, Some(1.0), 1000, 999),
+            record("transversal_cnot", 5, Some(2.0), 1000, 998),
+        ];
+        assert!(fit_eq4(&saturated, 0.1).is_none());
+        // Zero failures everywhere: likewise.
+        let silent = vec![
+            record("transversal_cnot", 3, Some(1.0), 1000, 0),
+            record("transversal_cnot", 5, Some(2.0), 1000, 0),
+        ];
+        assert!(fit_eq4(&silent, 0.1).is_none());
     }
 }

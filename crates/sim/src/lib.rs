@@ -21,6 +21,14 @@
 //! decoders) into specs with per-point derived seeds, and [`analysis`]
 //! fits the resulting records to Eq. (4) via [`raa_core::fit`].
 //!
+//! Determinism also makes sweeps cacheable by content: the
+//! [`Orchestrator`] runs grid points in parallel over an on-disk record
+//! cache keyed by each point's semantic fingerprint (resume interrupted
+//! sweeps, replay repeated ones byte-for-byte without sampling), and
+//! [`calibrate`] closes the paper's sim → model → estimate loop — sweeps →
+//! (α, Λ) fit → [`raa_core::ErrorModelParams`] anchored at the sweep's own
+//! `p_phys` (`p_thres = Λ·p_phys`), ready for the `shor` optimizer.
+//!
 //! Deep circuits (memory at `rounds ≥ 20·d`, or the repeated-CNOT
 //! [`Scenario::DeepCnot`] workload) stream: with `spec.streaming = true`
 //! and a windowed decoder, sampling and decoding proceed one detector time
@@ -51,12 +59,16 @@
 //! ```
 
 pub mod analysis;
+pub mod calibrate;
 pub mod engine;
+pub mod orchestrator;
 pub mod record;
 pub mod spec;
 
+pub use calibrate::{calibrate, Calibration, CalibrationConfig, CalibrationError};
 pub use engine::{build_circuit, derive_seed, run, run_sweep, run_timed, RunTiming};
-pub use record::{to_json_lines, ExperimentRecord};
+pub use orchestrator::{spec_cache_key, spec_fingerprint, Orchestrator, SweepCache, SweepReport};
+pub use record::{parse_json_lines, to_json_lines, ExperimentRecord};
 pub use spec::{
     DecoderChoice, ExperimentSpec, Rounds, SamplerChoice, Scenario, ShotBudget, SweepGrid,
 };

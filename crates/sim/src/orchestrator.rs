@@ -1,0 +1,633 @@
+//! Resumable sweep orchestration over a content-addressed record cache.
+//!
+//! Running a [`SweepGrid`] is a pure function of its specs (the engine's
+//! determinism guarantee), which makes every grid point cacheable by
+//! content: the cache key is a deterministic hash of the point's complete
+//! *semantic* spec — scenario (with rounds/depth/patches), distance, basis,
+//! noise, decoder, sampler, streaming flag, shot budget and seed — and
+//! deliberately excludes the execution parameters in
+//! [`ExperimentSpec::mc`], which are guaranteed not to change the record.
+//!
+//! The [`Orchestrator`] runs grid points in parallel across the same
+//! worker-pool machinery the Monte-Carlo pipeline uses, consulting the
+//! cache before sampling a single shot: a hit replays the stored JSON
+//! record byte-for-byte (via [`ExperimentRecord::from_json`]); a miss runs
+//! the engine and persists the record atomically (temp file + rename), so
+//! an interrupted sweep resumes from its completed points and a repeated
+//! sweep is free. The [`SweepReport`] says exactly how much fresh sampling
+//! a run performed — the number CI pins to zero on a warm cache.
+//!
+//! # Example
+//!
+//! ```
+//! use raa_sim::{Orchestrator, Rounds, Scenario, ShotBudget, SweepGrid};
+//!
+//! let grid = SweepGrid::new(
+//!     "demo",
+//!     Scenario::Memory { rounds: Rounds::Fixed(2) },
+//! )
+//! .with_distances(vec![3])
+//! .with_shots(ShotBudget::Fixed(256));
+//!
+//! let dir = std::env::temp_dir().join(format!("raa-orch-doc-{}", std::process::id()));
+//! let orch = Orchestrator::new().with_cache_dir(&dir).unwrap();
+//! let cold = orch.run(&grid).unwrap();
+//! assert_eq!(cold.fresh_points, 1);
+//!
+//! // Warm: same records, zero Monte-Carlo sampling.
+//! let warm = orch.run(&grid).unwrap();
+//! assert_eq!(warm.fresh_shots, 0);
+//! assert_eq!(warm.records, cold.records);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::engine;
+use crate::record::ExperimentRecord;
+use crate::spec::{ExperimentSpec, Rounds, Scenario, ShotBudget, SweepGrid};
+use rayon::prelude::*;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version tag mixed into every fingerprint: bump when the engine's
+/// sampling/decoding streams change behaviour, and every stale cache entry
+/// misses instead of replaying records from the old pipeline.
+const FINGERPRINT_VERSION: u32 = 1;
+
+fn rounds_fingerprint(rounds: Rounds) -> String {
+    match rounds {
+        Rounds::Fixed(n) => format!("fixed:{n}"),
+        Rounds::TimesDistance(k) => format!("xd:{k}"),
+    }
+}
+
+fn scenario_fingerprint(scenario: &Scenario) -> String {
+    match *scenario {
+        Scenario::Memory { rounds } => {
+            format!("memory(rounds={})", rounds_fingerprint(rounds))
+        }
+        Scenario::TransversalCnot {
+            patches,
+            depth,
+            cnots_per_round,
+        } => format!("transversal_cnot(patches={patches},depth={depth},x={cnots_per_round})"),
+        Scenario::GhzFanout { targets } => format!("ghz_fanout(targets={targets})"),
+        Scenario::DeepCnot {
+            patches,
+            rounds,
+            cnots_per_round,
+        } => format!(
+            "deep_cnot(patches={patches},rounds={},x={cnots_per_round})",
+            rounds_fingerprint(rounds)
+        ),
+    }
+}
+
+fn budget_fingerprint(budget: ShotBudget) -> String {
+    match budget {
+        ShotBudget::Fixed(shots) => format!("fixed:{shots}"),
+        ShotBudget::UntilFailures {
+            max_shots,
+            target_failures,
+        } => format!("until:{max_shots}:{target_failures}"),
+    }
+}
+
+/// The canonical, human-readable description of everything that determines
+/// a spec's record — and nothing that doesn't (the `mc` execution
+/// parameters are excluded by the engine's determinism contract). Equal
+/// fingerprints ⇔ byte-identical records. Floats use Rust's shortest
+/// round-trip formatting, so the string is platform-stable.
+pub fn spec_fingerprint(spec: &ExperimentSpec) -> String {
+    format!(
+        "v{FINGERPRINT_VERSION};name={};scenario={};d={};basis={:?};\
+         p2={};p_idle={};p_prep={};p_meas={};decoder={};sampler={};\
+         streaming={};shots={};seed={}",
+        spec.name,
+        scenario_fingerprint(&spec.scenario),
+        spec.distance,
+        spec.basis,
+        spec.noise.p2,
+        spec.noise.p_idle,
+        spec.noise.p_prep,
+        spec.noise.p_meas,
+        spec.decoder.label(),
+        spec.sampler.label(),
+        spec.streaming,
+        budget_fingerprint(spec.shots),
+        spec.seed,
+    )
+}
+
+/// FNV-1a over `bytes` from the given offset basis, finished with a
+/// SplitMix64-style avalanche so nearby fingerprints spread over the full
+/// key space.
+fn hash64(bytes: &[u8], offset: u64) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// The content-addressed cache key of a spec: 128 bits of fingerprint hash
+/// as 32 hex characters (two independent 64-bit passes, so accidental
+/// collisions are out of reach for any realistic sweep census).
+pub fn spec_cache_key(spec: &ExperimentSpec) -> String {
+    let fp = spec_fingerprint(spec);
+    let a = hash64(fp.as_bytes(), 0xCBF2_9CE4_8422_2325);
+    let b = hash64(fp.as_bytes(), 0x6C62_272E_07BB_0142);
+    format!("{a:016x}{b:016x}")
+}
+
+/// On-disk record cache: one `<key>.json` file per grid point, each holding
+/// exactly the record's deterministic JSON line.
+#[derive(Debug, Clone)]
+pub struct SweepCache {
+    dir: PathBuf,
+}
+
+impl SweepCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for a spec.
+    pub fn entry_path(&self, spec: &ExperimentSpec) -> PathBuf {
+        self.dir.join(format!("{}.json", spec_cache_key(spec)))
+    }
+
+    /// Loads the cached record for `spec`, or `None` on a miss. Unreadable,
+    /// unparsable or mismatched entries (a hash collision, a truncated
+    /// write from a killed process, a hand-edited file) are treated as
+    /// misses — the orchestrator re-runs the point and overwrites them.
+    pub fn load(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
+        let text = fs::read_to_string(self.entry_path(spec)).ok()?;
+        let record = ExperimentRecord::from_json(text.trim_end()).ok()?;
+        record_matches_spec(&record, spec).then_some(record)
+    }
+
+    /// Persists `record` as the entry for `spec`, atomically: the bytes land
+    /// under a temporary name and are renamed into place, so concurrent
+    /// writers (parallel points, or two processes sharing a cache) can never
+    /// expose a torn entry.
+    pub fn store(&self, spec: &ExperimentSpec, record: &ExperimentRecord) -> io::Result<()> {
+        // Distinct temp names even for identical specs racing in one
+        // parallel run (pid alone would collide and fail the loser's
+        // rename).
+        static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let final_path = self.entry_path(spec);
+        let tmp_path = self.dir.join(format!(
+            "{}.tmp.{}.{}",
+            spec_cache_key(spec),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut json = record.to_json();
+        json.push('\n');
+        fs::write(&tmp_path, json)?;
+        fs::rename(&tmp_path, final_path)
+    }
+}
+
+/// Checks the loaded record's spec echo against the spec that addressed it:
+/// the guard that turns hash collisions and stale entries into cache misses
+/// instead of silently wrong results.
+fn record_matches_spec(record: &ExperimentRecord, spec: &ExperimentSpec) -> bool {
+    let budget_ok = match spec.shots {
+        ShotBudget::Fixed(shots) => record.shots == shots,
+        ShotBudget::UntilFailures {
+            max_shots,
+            target_failures,
+        } => {
+            // An early-stopped record must actually have reached the
+            // failure target; otherwise it must have exhausted the cap.
+            record.shots <= max_shots
+                && (record.failures >= target_failures || record.shots == max_shots)
+        }
+    };
+    // The scenario label alone cannot distinguish e.g. two memory round
+    // schedules, so also check the scenario parameters the record echoes.
+    let scenario_ok = match spec.scenario {
+        Scenario::Memory { rounds } => {
+            record.patches == 1
+                && record.cnots == 0
+                && record.se_rounds == rounds.resolve(spec.distance)
+                && record.cnots_per_round.is_none()
+        }
+        Scenario::TransversalCnot {
+            patches,
+            depth,
+            cnots_per_round,
+        } => {
+            record.patches == patches
+                && record.cnots == depth
+                && record.cnots_per_round == Some(cnots_per_round)
+        }
+        Scenario::GhzFanout { .. } => record.cnots_per_round.is_none(),
+        Scenario::DeepCnot {
+            patches,
+            rounds,
+            cnots_per_round,
+        } => {
+            record.patches == patches
+                && record.se_rounds <= rounds.resolve(spec.distance)
+                && record.cnots_per_round == Some(cnots_per_round)
+        }
+    };
+    budget_ok
+        && scenario_ok
+        && record.name == spec.name
+        && record.scenario == spec.scenario.label()
+        && record.distance == spec.distance
+        && record.basis == spec.basis
+        && record.noise == spec.noise
+        && record.decoder == spec.decoder.label()
+        && record.sampler == spec.sampler.label()
+        && record.streaming == spec.streaming
+        && record.seed == spec.seed
+}
+
+/// What a cached sweep run did: the records in grid order, plus the
+/// fresh-vs-replayed accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// One record per grid point, in the grid's deterministic expansion
+    /// order — identical to what [`engine::run_sweep`] would return.
+    pub records: Vec<ExperimentRecord>,
+    /// Points that ran through the engine this time.
+    pub fresh_points: usize,
+    /// Points replayed from the cache.
+    pub cached_points: usize,
+    /// Monte-Carlo shots actually sampled this run (0 on a fully warm
+    /// cache — the property the CI smoke pins).
+    pub fresh_shots: usize,
+}
+
+impl SweepReport {
+    /// Total points in the sweep.
+    pub fn total_points(&self) -> usize {
+        self.fresh_points + self.cached_points
+    }
+}
+
+/// Runs sweeps point-parallel over an optional [`SweepCache`].
+#[derive(Debug, Clone, Default)]
+pub struct Orchestrator {
+    cache: Option<SweepCache>,
+    point_threads: usize,
+}
+
+impl Orchestrator {
+    /// An orchestrator with no cache, running points in parallel on all
+    /// cores.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a content-addressed cache rooted at `dir` (created if
+    /// missing).
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> io::Result<Self> {
+        self.cache = Some(SweepCache::open(dir)?);
+        Ok(self)
+    }
+
+    /// Sets the number of grid points run concurrently: `0` (default) uses
+    /// all cores, `1` runs points serially with each point's own
+    /// [`raa_decode::McConfig`] governing its inner parallelism. With two
+    /// or more point workers each point's Monte-Carlo decode is forced
+    /// single-threaded — the parallelism budget moves to the point axis —
+    /// which cannot change any record (the engine's determinism contract).
+    pub fn with_point_threads(mut self, point_threads: usize) -> Self {
+        self.point_threads = point_threads;
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&SweepCache> {
+        self.cache.as_ref()
+    }
+
+    /// Runs every point of `grid` (cartesian expansion order), consulting
+    /// the cache before sampling.
+    ///
+    /// # Errors
+    ///
+    /// Only cache I/O can fail (creating, reading or atomically renaming
+    /// entry files); without a cache the run is infallible.
+    pub fn run(&self, grid: &SweepGrid) -> io::Result<SweepReport> {
+        self.run_specs(&grid.specs())
+    }
+
+    /// [`Orchestrator::run`] over an explicit spec list.
+    pub fn run_specs(&self, specs: &[ExperimentSpec]) -> io::Result<SweepReport> {
+        let point_parallel = self.point_threads != 1;
+        let run_point = |spec: &ExperimentSpec| -> io::Result<(ExperimentRecord, bool)> {
+            if let Some(cache) = &self.cache {
+                if let Some(record) = cache.load(spec) {
+                    return Ok((record, false));
+                }
+            }
+            let record = if point_parallel {
+                // Points occupy the worker pool; nesting another pool per
+                // point would oversubscribe without changing any record.
+                let mut inner = spec.clone();
+                inner.mc.threads = 1;
+                engine::run(&inner)
+            } else {
+                engine::run(spec)
+            };
+            if let Some(cache) = &self.cache {
+                cache.store(spec, &record)?;
+            }
+            Ok((record, true))
+        };
+
+        let results: Vec<io::Result<(ExperimentRecord, bool)>> = if point_parallel {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(self.point_threads)
+                .build()
+                .expect("building the sweep point pool");
+            pool.install(|| {
+                (0..specs.len())
+                    .into_par_iter()
+                    .map(|i| run_point(&specs[i]))
+                    .collect()
+            })
+        } else {
+            specs.iter().map(run_point).collect()
+        };
+
+        let mut report = SweepReport {
+            records: Vec::with_capacity(specs.len()),
+            fresh_points: 0,
+            cached_points: 0,
+            fresh_shots: 0,
+        };
+        for result in results {
+            let (record, fresh) = result?;
+            if fresh {
+                report.fresh_points += 1;
+                report.fresh_shots += record.shots;
+            } else {
+                report.cached_points += 1;
+            }
+            report.records.push(record);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DecoderChoice, SamplerChoice};
+    use crate::{run_sweep, NoiseModel};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("raa-sim-orch-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::new(
+            "orch/memory",
+            Scenario::Memory {
+                rounds: Rounds::Fixed(2),
+            },
+        )
+        .with_distances(vec![3, 5])
+        .with_p_phys(vec![3e-3, 5e-3])
+        .with_shots(ShotBudget::Fixed(512))
+        .with_seed(0xA11CE)
+    }
+
+    #[test]
+    fn fingerprint_separates_every_semantic_axis() {
+        let base = small_grid().specs().remove(0);
+        let fp = spec_fingerprint(&base);
+        let variants: Vec<ExperimentSpec> = vec![
+            ExperimentSpec {
+                seed: base.seed + 1,
+                ..base.clone()
+            },
+            ExperimentSpec {
+                distance: 5,
+                ..base.clone()
+            },
+            ExperimentSpec {
+                noise: NoiseModel::uniform(1e-3),
+                ..base.clone()
+            },
+            ExperimentSpec {
+                decoder: DecoderChoice::Matching,
+                ..base.clone()
+            },
+            ExperimentSpec {
+                sampler: SamplerChoice::Circuit,
+                ..base.clone()
+            },
+            ExperimentSpec {
+                shots: ShotBudget::UntilFailures {
+                    max_shots: 512,
+                    target_failures: 8,
+                },
+                ..base.clone()
+            },
+            ExperimentSpec {
+                name: "other".into(),
+                ..base.clone()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(spec_fingerprint(v), fp, "{v:?}");
+            assert_ne!(spec_cache_key(v), spec_cache_key(&base));
+        }
+        // The mc execution parameters are not semantic: same key.
+        let retimed = ExperimentSpec {
+            mc: raa_decode::McConfig::default()
+                .with_threads(7)
+                .with_batch(33),
+            ..base.clone()
+        };
+        assert_eq!(spec_fingerprint(&retimed), fp);
+    }
+
+    #[test]
+    fn warm_cache_replays_bytes_and_samples_nothing() {
+        let tmp = TempDir::new("warm");
+        let grid = small_grid();
+        let orch = Orchestrator::new().with_cache_dir(&tmp.0).unwrap();
+        let cold = orch.run(&grid).unwrap();
+        assert_eq!(cold.fresh_points, 4);
+        assert_eq!(cold.cached_points, 0);
+        assert_eq!(cold.fresh_shots, 4 * 512);
+
+        let warm = orch.run(&grid).unwrap();
+        assert_eq!(warm.fresh_points, 0);
+        assert_eq!(warm.cached_points, 4);
+        assert_eq!(warm.fresh_shots, 0);
+        for (a, b) in cold.records.iter().zip(&warm.records) {
+            assert_eq!(a.to_json(), b.to_json(), "byte-identical replay");
+        }
+        // And both match the plain uncached engine sweep.
+        let plain = run_sweep(&grid);
+        for (a, b) in plain.iter().zip(&cold.records) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_only_missing_points() {
+        let tmp = TempDir::new("resume");
+        let grid = small_grid();
+        let specs = grid.specs();
+        let orch = Orchestrator::new().with_cache_dir(&tmp.0).unwrap();
+        orch.run(&grid).unwrap();
+        // Simulate an interruption that lost one point.
+        let victim = orch.cache().unwrap().entry_path(&specs[2]);
+        fs::remove_file(&victim).unwrap();
+        let resumed = orch.run(&grid).unwrap();
+        assert_eq!(resumed.fresh_points, 1);
+        assert_eq!(resumed.cached_points, 3);
+        assert_eq!(resumed.fresh_shots, 512);
+        assert!(victim.exists(), "re-run point persisted again");
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_entries_are_recomputed() {
+        let tmp = TempDir::new("corrupt");
+        let grid = small_grid();
+        let specs = grid.specs();
+        let orch = Orchestrator::new().with_cache_dir(&tmp.0).unwrap();
+        let cold = orch.run(&grid).unwrap();
+        let cache = orch.cache().unwrap();
+        // Truncated JSON (torn write).
+        fs::write(cache.entry_path(&specs[0]), "{\"name\":\"orch").unwrap();
+        // Well-formed JSON whose spec echo belongs to a different point
+        // (what a key collision would look like).
+        fs::write(
+            cache.entry_path(&specs[1]),
+            format!("{}\n", cold.records[3].to_json()),
+        )
+        .unwrap();
+        let healed = orch.run(&grid).unwrap();
+        assert_eq!(healed.fresh_points, 2);
+        assert_eq!(healed.cached_points, 2);
+        for (a, b) in cold.records.iter().zip(&healed.records) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
+    }
+
+    #[test]
+    fn stale_entry_with_same_label_but_different_scenario_params_misses() {
+        let tmp = TempDir::new("stale");
+        let grid = small_grid();
+        let spec = grid.specs().remove(0); // Memory { rounds: Fixed(2) }
+        let orch = Orchestrator::new().with_cache_dir(&tmp.0).unwrap();
+        let record = orch.run_specs(std::slice::from_ref(&spec)).unwrap().records[0].clone();
+        // Same name/seed/noise/decoder and the same "memory" label, but a
+        // different round schedule: the stale entry must not replay.
+        let longer = ExperimentSpec {
+            scenario: Scenario::Memory {
+                rounds: Rounds::Fixed(3),
+            },
+            ..spec.clone()
+        };
+        let cache = orch.cache().unwrap();
+        fs::write(cache.entry_path(&longer), format!("{}\n", record.to_json())).unwrap();
+        assert!(
+            cache.load(&longer).is_none(),
+            "se_rounds mismatch must be a miss"
+        );
+        let healed = orch.run_specs(std::slice::from_ref(&longer)).unwrap();
+        assert_eq!(healed.fresh_points, 1);
+        assert_eq!(healed.records[0].se_rounds, 3);
+    }
+
+    #[test]
+    fn until_failures_entry_must_justify_its_early_stop() {
+        let grid = small_grid();
+        let mut spec = grid.specs().remove(0);
+        spec.shots = ShotBudget::UntilFailures {
+            max_shots: 4_096,
+            target_failures: 4,
+        };
+        let record = engine::run(&spec);
+        assert!(record_matches_spec(&record, &spec));
+        // A record that stopped early without reaching the failure target
+        // cannot belong to this budget.
+        let mut bogus = record.clone();
+        bogus.shots = record.shots.saturating_sub(1).max(1);
+        bogus.failures = 0;
+        assert!(!record_matches_spec(&bogus, &spec));
+    }
+
+    #[test]
+    fn duplicate_specs_in_one_parallel_run_do_not_race() {
+        let tmp = TempDir::new("dup");
+        let spec = small_grid().specs().remove(0);
+        let duplicates = vec![spec.clone(), spec.clone(), spec.clone(), spec];
+        let orch = Orchestrator::new()
+            .with_point_threads(4)
+            .with_cache_dir(&tmp.0)
+            .unwrap();
+        let report = orch.run_specs(&duplicates).unwrap();
+        assert_eq!(report.records.len(), 4);
+        for r in &report.records[1..] {
+            assert_eq!(r.to_json(), report.records[0].to_json());
+        }
+    }
+
+    #[test]
+    fn point_parallelism_is_bit_deterministic() {
+        let grid = small_grid();
+        let serial = Orchestrator::new()
+            .with_point_threads(1)
+            .run(&grid)
+            .unwrap();
+        for threads in [0usize, 2, 8] {
+            let parallel = Orchestrator::new()
+                .with_point_threads(threads)
+                .run(&grid)
+                .unwrap();
+            for (a, b) in serial.records.iter().zip(&parallel.records) {
+                assert_eq!(a.to_json(), b.to_json(), "point_threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncached_orchestrator_reports_all_fresh() {
+        let report = Orchestrator::new().run(&small_grid()).unwrap();
+        assert_eq!(report.fresh_points, 4);
+        assert_eq!(report.total_points(), 4);
+        assert_eq!(report.fresh_shots, 4 * 512);
+    }
+}

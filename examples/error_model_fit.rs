@@ -53,7 +53,11 @@ fn main() {
         }
     }
 
-    let fit = fit_cnot_model(&points, 0.1);
+    let Some(fit) = fit_cnot_model(&points, 0.1) else {
+        println!();
+        println!("too few usable (x, d) points for the Eq. (4) fit; raise RAA_SHOTS");
+        return;
+    };
     println!();
     println!("Eq. (4) fit:");
     println!(
@@ -65,6 +69,14 @@ fn main() {
         fit.lambda
     );
     println!("  residual = {:.4}", fit.residual);
+    if fit.lambda > 1.0 {
+        println!(
+            "  calibrated threshold p_thres = Lambda * p = {:.4}  (the paper assumes 1%)",
+            fit.to_params(p).p_thres
+        );
+    } else {
+        println!("  no suppression at this statistics depth (Lambda <= 1); raise RAA_SHOTS");
+    }
     println!();
     println!(
         "note: union-find at elevated p is a weaker decoder than the paper's MLE, so a \
