@@ -8,19 +8,25 @@
 //! cargo run --release --bin raa-cal                 # cold: samples + caches
 //! cargo run --release --bin raa-cal                 # warm: 0 fresh shots
 //! RAA_SHOTS=60000 cargo run --release --bin raa-cal # deeper statistics
+//! RAA_SWEEPD=127.0.0.1:7411 cargo run --release --bin raa-cal # via daemon
 //! ```
 //!
 //! Environment knobs: `RAA_CACHE_DIR` (default `target/raa-cal-cache`; set
 //! empty to disable caching), `RAA_SHOTS` (per-point budget for both
 //! sweeps), `RAA_P` (sweep physical error rate), `RAA_POINT_THREADS`
-//! (concurrent grid points, 0 = all cores), `RAA_JSON` (dump raw records).
+//! (concurrent grid points, 0 = all cores), `RAA_JSON` (dump raw records),
+//! `RAA_SWEEPD` (address of a running `raa-sweepd`; the sweeps then run in
+//! the daemon against its cache and `RAA_CACHE_DIR`/`RAA_POINT_THREADS`
+//! are ignored). A malformed knob value is a hard error (exit 2), never a
+//! silent fallback to the default.
 //! The `freshly sampled shots` line is the cache contract CI pins: a second
 //! run over the same cache must report 0.
 
 use raa::core::ErrorModelParams;
 use raa::shor::TransversalArchitecture;
-use raa::sim::{calibrate, CalibrationConfig};
-use raa_bench::{fmt, header, maybe_dump_json, row};
+use raa::sim::jobs::Response;
+use raa::sim::{calibrate, Calibration, CalibrationConfig, ServiceClient};
+use raa_bench::{env_parse_strict, fmt, header, maybe_dump_json, row};
 
 fn main() {
     let mut cfg = CalibrationConfig::default();
@@ -29,34 +35,74 @@ fn main() {
         Ok(dir) => cfg.cache_dir = Some(dir.into()),
         Err(_) => cfg.cache_dir = Some("target/raa-cal-cache".into()),
     }
-    if let Some(shots) = env_parse::<usize>("RAA_SHOTS") {
+    if let Some(shots) = env_parse_strict::<usize>("RAA_SHOTS") {
         cfg.memory_shots = shots;
         cfg.cnot_shots = shots;
     }
-    if let Some(p) = env_parse::<f64>("RAA_P") {
+    if let Some(p) = env_parse_strict::<f64>("RAA_P") {
         cfg.p_phys = p;
     }
-    if let Some(threads) = env_parse::<usize>("RAA_POINT_THREADS") {
+    if let Some(threads) = env_parse_strict::<usize>("RAA_POINT_THREADS") {
         cfg.point_threads = threads;
     }
 
+    let daemon = std::env::var("RAA_SWEEPD").ok().filter(|a| !a.is_empty());
     header(&format!(
-        "raa-cal: calibration sweeps at p = {}, d in {:?}, x in {:?} (cache: {})",
+        "raa-cal: calibration sweeps at p = {}, d in {:?}, x in {:?} ({})",
         cfg.p_phys,
         cfg.distances,
         cfg.cnots_per_round,
-        cfg.cache_dir
-            .as_deref()
-            .map_or("disabled".into(), |d| d.display().to_string()),
+        match &daemon {
+            Some(addr) => format!("daemon: {addr}"),
+            None => format!(
+                "cache: {}",
+                cfg.cache_dir
+                    .as_deref()
+                    .map_or("disabled".into(), |d| d.display().to_string())
+            ),
+        },
     ));
-    let cal = match calibrate(&cfg) {
-        Ok(cal) => cal,
-        Err(e) => {
+    let cal = match &daemon {
+        Some(addr) => calibrate_via_daemon(addr, &cfg),
+        None => calibrate(&cfg).unwrap_or_else(|e| {
             eprintln!("calibration failed: {e}");
             std::process::exit(1);
-        }
+        }),
     };
+    print_calibration(&cal);
+}
 
+/// Runs the calibration job in a `raa-sweepd` daemon: same sweeps, same
+/// fit, but sampled by (and cached in) the shared service.
+fn calibrate_via_daemon(addr: &str, cfg: &CalibrationConfig) -> Calibration {
+    let mut client = ServiceClient::connect(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot reach raa-sweepd at {addr}: {e}");
+        std::process::exit(1);
+    });
+    match client.calibrate(cfg) {
+        Ok(Response::Calibrate { calibration, .. }) => calibration,
+        Ok(Response::Error { message, .. }) => {
+            eprintln!("calibration failed in daemon: {message}");
+            std::process::exit(1);
+        }
+        Ok(Response::Shed { message, .. }) => {
+            eprintln!("daemon is draining and shed the job: {message}");
+            std::process::exit(1);
+        }
+        Ok(other) => {
+            eprintln!("unexpected daemon response: {other:?}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: daemon request failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Prints the calibration report — identical output whether the sweeps ran
+/// locally or in the daemon, so CI can pin the same lines either way.
+fn print_calibration(cal: &Calibration) {
     header("sweep execution");
     row(&[
         "points".into(),
@@ -108,8 +154,4 @@ fn main() {
     let mut all = cal.memory_records.clone();
     all.extend(cal.cnot_records.iter().cloned());
     maybe_dump_json(&all);
-}
-
-fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
-    std::env::var(key).ok().and_then(|s| s.parse().ok())
 }

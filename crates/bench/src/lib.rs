@@ -8,10 +8,25 @@
 /// Reads a shot-count override from `RAA_SHOTS` (used by the Monte-Carlo
 /// figures so CI can run fast and papers-quality runs can go deep).
 pub fn env_shots(default: usize) -> usize {
-    std::env::var("RAA_SHOTS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    env_parse_strict("RAA_SHOTS").unwrap_or(default)
+}
+
+/// Reads an env knob strictly: unset returns `None`, but a value that does
+/// not parse **exits with a clear error** (status 2) instead of silently
+/// falling back — `RAA_SHOTS=10k` must never run a 20 000-shot sweep the
+/// user did not ask for.
+pub fn env_parse_strict<T: std::str::FromStr>(key: &str) -> Option<T> {
+    let value = std::env::var(key).ok()?;
+    match value.parse() {
+        Ok(parsed) => Some(parsed),
+        Err(_) => {
+            eprintln!(
+                "error: {key}={value:?} is not a valid {}",
+                std::any::type_name::<T>()
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Prints a `#`-prefixed header line.

@@ -30,6 +30,7 @@
 //! ```
 
 use crate::analysis;
+use crate::error::OrchestratorError;
 use crate::orchestrator::Orchestrator;
 use crate::record::ExperimentRecord;
 use crate::spec::{Rounds, Scenario, ShotBudget, SweepGrid};
@@ -124,7 +125,7 @@ impl CalibrationConfig {
     }
 
     /// The orchestrator this config runs on.
-    fn orchestrator(&self) -> io::Result<Orchestrator> {
+    pub fn orchestrator(&self) -> io::Result<Orchestrator> {
         let orch = Orchestrator::new().with_point_threads(self.point_threads);
         match &self.cache_dir {
             Some(dir) => orch.with_cache_dir(dir),
@@ -136,8 +137,9 @@ impl CalibrationConfig {
 /// Why a calibration run could not produce model parameters.
 #[derive(Debug)]
 pub enum CalibrationError {
-    /// Reading or writing the record cache failed.
-    Io(io::Error),
+    /// One of the two sweeps failed (cache I/O, a poisoned point, …) —
+    /// see [`OrchestratorError`] for the failure classes.
+    Sweep(OrchestratorError),
     /// The transversal-CNOT records could not support the (α, Λ) fit
     /// (too few usable points — everything saturated, zero failures, or a
     /// single `(x, d)` coordinate). Raise the shot budget or the noise.
@@ -154,7 +156,7 @@ pub enum CalibrationError {
 impl fmt::Display for CalibrationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CalibrationError::Io(e) => write!(f, "calibration cache I/O failed: {e}"),
+            CalibrationError::Sweep(e) => write!(f, "calibration sweep failed: {e}"),
             CalibrationError::UnfittableCnotSweep => write!(
                 f,
                 "transversal-CNOT sweep has too few usable points for the Eq. (4) fit \
@@ -169,11 +171,24 @@ impl fmt::Display for CalibrationError {
     }
 }
 
-impl std::error::Error for CalibrationError {}
+impl std::error::Error for CalibrationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CalibrationError::Sweep(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OrchestratorError> for CalibrationError {
+    fn from(e: OrchestratorError) -> Self {
+        CalibrationError::Sweep(e)
+    }
+}
 
 impl From<io::Error> for CalibrationError {
     fn from(e: io::Error) -> Self {
-        CalibrationError::Io(e)
+        CalibrationError::Sweep(OrchestratorError::io("opening the record cache", e))
     }
 }
 
@@ -223,7 +238,8 @@ impl Calibration {
 ///
 /// # Errors
 ///
-/// [`CalibrationError::Io`] on cache I/O failure;
+/// [`CalibrationError::Sweep`] when either sweep fails (cache I/O past the
+/// retry budget, a poisoned point, a worker-pool misconfiguration);
 /// [`CalibrationError::UnfittableCnotSweep`] /
 /// [`CalibrationError::NoSuppression`] when the records cannot support the
 /// fit (see [`crate::analysis::fit_eq4`]).
@@ -231,24 +247,50 @@ pub fn calibrate(cfg: &CalibrationConfig) -> Result<Calibration, CalibrationErro
     let orch = cfg.orchestrator()?;
     let memory = orch.run(&cfg.memory_grid())?;
     let cnot = orch.run(&cfg.cnot_grid())?;
+    fit_calibration(
+        cfg,
+        memory.records,
+        cnot.records,
+        memory.fresh_points + cnot.fresh_points,
+        memory.cached_points + cnot.cached_points,
+        memory.fresh_shots + cnot.fresh_shots,
+    )
+}
 
+/// The fitting half of [`calibrate`], decoupled from how the records were
+/// produced: the `raa-sweepd` service runs the two sweeps through its own
+/// shared worker pool and hands the records here, so the daemon and the
+/// in-process path share one fit (and one set of error conditions).
+///
+/// # Errors
+///
+/// [`CalibrationError::UnfittableCnotSweep`] /
+/// [`CalibrationError::NoSuppression`] as for [`calibrate`].
+pub fn fit_calibration(
+    cfg: &CalibrationConfig,
+    memory_records: Vec<ExperimentRecord>,
+    cnot_records: Vec<ExperimentRecord>,
+    fresh_points: usize,
+    cached_points: usize,
+    fresh_shots: usize,
+) -> Result<Calibration, CalibrationError> {
     let fit =
-        analysis::fit_eq4(&cnot.records, cfg.c).ok_or(CalibrationError::UnfittableCnotSweep)?;
+        analysis::fit_eq4(&cnot_records, cfg.c).ok_or(CalibrationError::UnfittableCnotSweep)?;
     if fit.lambda <= 1.0 {
         return Err(CalibrationError::NoSuppression { lambda: fit.lambda });
     }
     let params = fit.to_params(cfg.p_phys);
-    let lambda_memory = analysis::memory_lambda(&memory.records);
+    let lambda_memory = analysis::memory_lambda(&memory_records);
 
     Ok(Calibration {
         fit,
         lambda_memory,
         params,
-        memory_records: memory.records,
-        cnot_records: cnot.records,
-        fresh_points: memory.fresh_points + cnot.fresh_points,
-        cached_points: memory.cached_points + cnot.cached_points,
-        fresh_shots: memory.fresh_shots + cnot.fresh_shots,
+        memory_records,
+        cnot_records,
+        fresh_points,
+        cached_points,
+        fresh_shots,
     })
 }
 

@@ -61,14 +61,24 @@
 pub mod analysis;
 pub mod calibrate;
 pub mod engine;
+pub mod error;
+pub mod jobs;
+pub mod lock;
 pub mod orchestrator;
 pub mod record;
+pub mod service;
 pub mod spec;
 
-pub use calibrate::{calibrate, Calibration, CalibrationConfig, CalibrationError};
+pub use calibrate::{calibrate, fit_calibration, Calibration, CalibrationConfig, CalibrationError};
 pub use engine::{build_circuit, derive_seed, run, run_sweep, run_timed, RunTiming};
-pub use orchestrator::{spec_cache_key, spec_fingerprint, Orchestrator, SweepCache, SweepReport};
+pub use error::{OrchestratorError, PoisonedPoint};
+pub use lock::{Backoff, FileLock, LockError, LockOptions};
+pub use orchestrator::{
+    spec_cache_key, spec_fingerprint, CacheLookup, Orchestrator, PointOutcome, ScrubOptions,
+    ScrubReport, SweepCache, SweepReport,
+};
 pub use record::{parse_json_lines, to_json_lines, ExperimentRecord};
+pub use service::{ServiceClient, ServiceConfig, SweepService};
 pub use spec::{
     DecoderChoice, ExperimentSpec, Rounds, SamplerChoice, Scenario, ShotBudget, SweepGrid,
 };

@@ -1,4 +1,5 @@
-//! Resumable sweep orchestration over a content-addressed record cache.
+//! Resumable, fault-tolerant sweep orchestration over a content-addressed
+//! record cache.
 //!
 //! Running a [`SweepGrid`] is a pure function of its specs (the engine's
 //! determinism guarantee), which makes every grid point cacheable by
@@ -16,6 +17,31 @@
 //! an interrupted sweep resumes from its completed points and a repeated
 //! sweep is free. The [`SweepReport`] says exactly how much fresh sampling
 //! a run performed — the number CI pins to zero on a warm cache.
+//!
+//! # Fault tolerance
+//!
+//! The orchestrator is the substrate of the `raa-sweepd` service, so every
+//! per-point failure class is contained instead of taking down the run:
+//!
+//! - **Panic isolation** — each point's engine run executes under
+//!   `catch_unwind`; with [`Orchestrator::with_panic_isolation`] a
+//!   panicking point becomes a [`PoisonedPoint`] entry in the report while
+//!   every other point completes (without isolation it fails the job as a
+//!   typed [`OrchestratorError::Poisoned`] — never the process).
+//! - **Single-writer lock discipline** — cold points take an advisory
+//!   per-entry file lock (see [`crate::lock`]) *before* sampling, so
+//!   concurrent orchestrators sharing a cache dir serialize on each entry:
+//!   the loser of the race re-checks the cache after the lock and replays
+//!   the winner's record instead of re-sampling. The lock is advisory —
+//!   a bounded wait that times out falls back to sampling (results are
+//!   deterministic, so duplicated work is waste, never corruption).
+//! - **Bounded retry** — cache writes retry transient I/O failures with
+//!   exponential backoff ([`crate::lock::retry_io`]) before surfacing a
+//!   typed [`OrchestratorError::Io`].
+//! - **Integrity scrubbing** — [`SweepCache::scrub`] re-validates every
+//!   entry's spec echo, moves corrupt entries to a `quarantine/` subdir,
+//!   removes stale temp/lock files left by killed processes, and
+//!   LRU-evicts over a size budget, all under the same per-entry locks.
 //!
 //! # Example
 //!
@@ -42,13 +68,18 @@
 //! ```
 
 use crate::engine;
+use crate::error::{OrchestratorError, PoisonedPoint};
+use crate::lock::{retry_io, Backoff, FileLock, LockError, LockOptions};
 use crate::record::ExperimentRecord;
 use crate::spec::{ExperimentSpec, Rounds, Scenario, ShotBudget, SweepGrid};
 use rayon::prelude::*;
+use std::cell::Cell;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+use std::time::{Duration, SystemTime};
 
 /// Version tag mixed into every fingerprint: bump when the engine's
 /// sampling/decoding streams change behaviour, and every stale cache entry
@@ -146,8 +177,23 @@ pub fn spec_cache_key(spec: &ExperimentSpec) -> String {
     format!("{a:016x}{b:016x}")
 }
 
+/// What consulting the cache for a spec found.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// A validated record whose spec echo matches.
+    Hit(ExperimentRecord),
+    /// No entry on disk.
+    Miss,
+    /// An entry exists but fails validation (torn write, hand-edit, hash
+    /// collision). Sweeps self-heal by recomputing and overwriting; the
+    /// scrubber quarantines.
+    Corrupt(String),
+}
+
 /// On-disk record cache: one `<key>.json` file per grid point, each holding
-/// exactly the record's deterministic JSON line.
+/// exactly the record's deterministic JSON line. Sidecar `<key>.lock` files
+/// carry the advisory single-writer discipline; the `quarantine/` subdir
+/// collects entries the scrubber pulled out of service.
 #[derive(Debug, Clone)]
 pub struct SweepCache {
     dir: PathBuf,
@@ -171,20 +217,63 @@ impl SweepCache {
         self.dir.join(format!("{}.json", spec_cache_key(spec)))
     }
 
+    /// The advisory lock path guarding a spec's entry.
+    pub fn lock_path(&self, spec: &ExperimentSpec) -> PathBuf {
+        self.dir.join(format!("{}.lock", spec_cache_key(spec)))
+    }
+
+    /// Where the scrubber moves corrupt entries.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Acquires the advisory single-writer lock for a spec's entry,
+    /// failing with a typed [`OrchestratorError::LockTimeout`] when the
+    /// bounded wait is exhausted.
+    pub fn exclusive(
+        &self,
+        spec: &ExperimentSpec,
+        opts: &LockOptions,
+    ) -> Result<FileLock, OrchestratorError> {
+        FileLock::acquire(self.lock_path(spec), opts).map_err(OrchestratorError::from)
+    }
+
+    /// Consults the cache for `spec`, distinguishing a clean miss from a
+    /// corrupt entry (both of which sweeps treat as recomputable).
+    pub fn lookup(&self, spec: &ExperimentSpec) -> CacheLookup {
+        let path = self.entry_path(spec);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return CacheLookup::Miss,
+            Err(e) => return CacheLookup::Corrupt(format!("unreadable: {e}")),
+        };
+        let record = match ExperimentRecord::from_json(text.trim_end()) {
+            Ok(record) => record,
+            Err(e) => return CacheLookup::Corrupt(format!("unparsable: {e}")),
+        };
+        if record_matches_spec(&record, spec) {
+            CacheLookup::Hit(record)
+        } else {
+            CacheLookup::Corrupt("spec echo does not match the addressing spec".into())
+        }
+    }
+
     /// Loads the cached record for `spec`, or `None` on a miss. Unreadable,
     /// unparsable or mismatched entries (a hash collision, a truncated
     /// write from a killed process, a hand-edited file) are treated as
     /// misses — the orchestrator re-runs the point and overwrites them.
     pub fn load(&self, spec: &ExperimentSpec) -> Option<ExperimentRecord> {
-        let text = fs::read_to_string(self.entry_path(spec)).ok()?;
-        let record = ExperimentRecord::from_json(text.trim_end()).ok()?;
-        record_matches_spec(&record, spec).then_some(record)
+        match self.lookup(spec) {
+            CacheLookup::Hit(record) => Some(record),
+            CacheLookup::Miss | CacheLookup::Corrupt(_) => None,
+        }
     }
 
     /// Persists `record` as the entry for `spec`, atomically: the bytes land
     /// under a temporary name and are renamed into place, so concurrent
     /// writers (parallel points, or two processes sharing a cache) can never
-    /// expose a torn entry.
+    /// expose a torn entry. Callers wanting single-writer discipline hold
+    /// [`SweepCache::exclusive`] across the call.
     pub fn store(&self, spec: &ExperimentSpec, record: &ExperimentRecord) -> io::Result<()> {
         // Distinct temp names even for identical specs racing in one
         // parallel run (pid alone would collide and fail the loser's
@@ -202,6 +291,219 @@ impl SweepCache {
         fs::write(&tmp_path, json)?;
         fs::rename(&tmp_path, final_path)
     }
+
+    /// Validates one entry file standalone (no addressing spec): the bytes
+    /// must parse as a record and the record's own echo must be internally
+    /// consistent. This is the scrubber's test for quarantining.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::CorruptEntry`] describing what failed;
+    /// [`OrchestratorError::Io`] when the file cannot be read at all.
+    pub fn validate_entry(path: &Path) -> Result<ExperimentRecord, OrchestratorError> {
+        let text = fs::read_to_string(path).map_err(|e| {
+            OrchestratorError::io(format!("reading cache entry {}", path.display()), e)
+        })?;
+        let corrupt = |detail: String| OrchestratorError::CorruptEntry {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let record = ExperimentRecord::from_json(text.trim_end())
+            .map_err(|e| corrupt(format!("unparsable: {e}")))?;
+        if record.failures > record.shots {
+            return Err(corrupt(format!(
+                "echo inconsistent: {} failures out of {} shots",
+                record.failures, record.shots
+            )));
+        }
+        if !matches!(
+            record.scenario.as_str(),
+            "memory" | "transversal_cnot" | "ghz_fanout" | "deep_cnot"
+        ) {
+            return Err(corrupt(format!("unknown scenario {:?}", record.scenario)));
+        }
+        Ok(record)
+    }
+
+    /// One integrity pass over the cache: re-validates every entry's spec
+    /// echo (corrupt entries move to `quarantine/`), removes stale temp and
+    /// lock files abandoned by killed processes, and LRU-evicts the
+    /// oldest-touched valid entries while the cache exceeds
+    /// `opts.size_budget`. Every destructive step happens under the
+    /// entry's advisory lock; entries whose lock stays contended are
+    /// skipped (counted in [`ScrubReport::skipped_locked`]) rather than
+    /// raced.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::Io`] when the cache directory itself cannot be
+    /// scanned; per-entry problems are reported, not raised.
+    pub fn scrub(&self, opts: &ScrubOptions) -> Result<ScrubReport, OrchestratorError> {
+        let mut report = ScrubReport::default();
+        let mut entries: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
+        let now = SystemTime::now();
+        let dir_iter = fs::read_dir(&self.dir).map_err(|e| {
+            OrchestratorError::io(format!("scanning cache dir {}", self.dir.display()), e)
+        })?;
+        for dirent in dir_iter {
+            let Ok(dirent) = dirent else { continue };
+            let path = dirent.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Ok(meta) = dirent.metadata() else {
+                continue;
+            };
+            if !meta.is_file() {
+                continue;
+            }
+            let age = |t: io::Result<SystemTime>| {
+                t.ok()
+                    .and_then(|m| now.duration_since(m).ok())
+                    .unwrap_or(Duration::ZERO)
+            };
+            if name.contains(".tmp.") {
+                if age(meta.modified()) > opts.stale_tmp_after && fs::remove_file(&path).is_ok() {
+                    report.stale_tmps_removed += 1;
+                }
+                continue;
+            }
+            if name.ends_with(".lock") {
+                if age(meta.modified()) > opts.stale_lock_after && fs::remove_file(&path).is_ok() {
+                    report.stale_locks_removed += 1;
+                }
+                continue;
+            }
+            if !name.ends_with(".json") {
+                continue;
+            }
+            report.scanned += 1;
+            match Self::validate_entry(&path) {
+                Ok(_) => {
+                    let mtime = meta.modified().unwrap_or(now);
+                    entries.push((path, meta.len(), mtime));
+                }
+                Err(_) => match self.quarantine_entry(&path, opts) {
+                    Ok(true) => report.quarantined += 1,
+                    Ok(false) => report.healthy += 1, // healed under our feet
+                    Err(QuarantineSkip::Locked) => report.skipped_locked += 1,
+                    Err(QuarantineSkip::Io) => {}
+                },
+            }
+        }
+        // LRU eviction over the size budget: oldest mtime first.
+        entries.sort_by_key(|(_, _, mtime)| *mtime);
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        let budget = opts.size_budget.unwrap_or(u64::MAX);
+        let mut kept = Vec::with_capacity(entries.len());
+        for (path, len, _) in entries {
+            if total > budget {
+                match self.with_entry_lock(&path, opts, |p| fs::remove_file(p)) {
+                    Ok(()) => {
+                        report.evicted += 1;
+                        total -= len;
+                        continue;
+                    }
+                    Err(QuarantineSkip::Locked) => report.skipped_locked += 1,
+                    Err(QuarantineSkip::Io) => {}
+                }
+            }
+            kept.push(len);
+        }
+        report.healthy += kept.len();
+        report.bytes_after = kept.iter().sum();
+        Ok(report)
+    }
+
+    /// Moves a (re-confirmed) corrupt entry into `quarantine/` under its
+    /// entry lock. Returns `Ok(false)` when a concurrent writer healed the
+    /// entry between detection and the lock.
+    fn quarantine_entry(&self, path: &Path, opts: &ScrubOptions) -> Result<bool, QuarantineSkip> {
+        self.with_entry_lock(path, opts, |p| {
+            if Self::validate_entry(p).is_ok() {
+                return Ok(false);
+            }
+            let qdir = self.quarantine_dir();
+            fs::create_dir_all(&qdir)?;
+            let dest = qdir.join(p.file_name().expect("entry files have names"));
+            fs::rename(p, dest)?;
+            Ok(true)
+        })
+    }
+
+    /// Runs `op` on `path` while holding the entry's advisory lock.
+    fn with_entry_lock<T>(
+        &self,
+        path: &Path,
+        opts: &ScrubOptions,
+        op: impl FnOnce(&Path) -> io::Result<T>,
+    ) -> Result<T, QuarantineSkip> {
+        let lock_path = path.with_extension("lock");
+        let lock = match FileLock::acquire(&lock_path, &opts.lock) {
+            Ok(lock) => lock,
+            Err(LockError::Timeout { .. }) => return Err(QuarantineSkip::Locked),
+            Err(LockError::Io { .. }) => return Err(QuarantineSkip::Io),
+        };
+        let out = op(path).map_err(|_| QuarantineSkip::Io);
+        let _ = lock.release();
+        out
+    }
+}
+
+/// Why the scrubber left an entry alone.
+enum QuarantineSkip {
+    Locked,
+    Io,
+}
+
+/// Knobs of one [`SweepCache::scrub`] pass.
+#[derive(Debug, Clone, Copy)]
+pub struct ScrubOptions {
+    /// Evict oldest-touched entries while the cache exceeds this many
+    /// bytes; `None` disables eviction.
+    pub size_budget: Option<u64>,
+    /// Temp files older than this are orphans of killed writers.
+    pub stale_tmp_after: Duration,
+    /// Lock files older than this are abandoned by dead processes.
+    pub stale_lock_after: Duration,
+    /// Per-entry lock acquisition for destructive steps (short wait — a
+    /// contended entry is simply skipped this pass).
+    pub lock: LockOptions,
+}
+
+impl Default for ScrubOptions {
+    fn default() -> Self {
+        Self {
+            size_budget: None,
+            stale_tmp_after: Duration::from_secs(3_600),
+            stale_lock_after: Duration::from_secs(120),
+            lock: LockOptions {
+                wait: Duration::from_millis(250),
+                ..LockOptions::default()
+            },
+        }
+    }
+}
+
+/// What one scrub pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Entry files examined.
+    pub scanned: usize,
+    /// Entries that validated (or healed mid-pass) and survived eviction.
+    pub healthy: usize,
+    /// Corrupt entries moved to `quarantine/`.
+    pub quarantined: usize,
+    /// Valid entries LRU-evicted over the size budget.
+    pub evicted: usize,
+    /// Orphaned temp files removed.
+    pub stale_tmps_removed: usize,
+    /// Abandoned lock files removed.
+    pub stale_locks_removed: usize,
+    /// Entries skipped because their lock stayed contended.
+    pub skipped_locked: usize,
+    /// Bytes of valid entries remaining after the pass.
+    pub bytes_after: u64,
 }
 
 /// Checks the loaded record's spec echo against the spec that addressed it:
@@ -263,11 +565,15 @@ fn record_matches_spec(record: &ExperimentRecord, spec: &ExperimentSpec) -> bool
 }
 
 /// What a cached sweep run did: the records in grid order, plus the
-/// fresh-vs-replayed accounting.
+/// fresh-vs-replayed accounting and the fault ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
-    /// One record per grid point, in the grid's deterministic expansion
-    /// order — identical to what [`engine::run_sweep`] would return.
+    /// One record per *successful* grid point, in the grid's deterministic
+    /// expansion order — identical to what [`engine::run_sweep`] would
+    /// return. With panic isolation off (the default) every point is
+    /// successful or the run errors, so the list always aligns with the
+    /// grid; with isolation on, poisoned points are omitted here and listed
+    /// in [`SweepReport::poisoned`].
     pub records: Vec<ExperimentRecord>,
     /// Points that ran through the engine this time.
     pub fresh_points: usize,
@@ -276,20 +582,78 @@ pub struct SweepReport {
     /// Monte-Carlo shots actually sampled this run (0 on a fully warm
     /// cache — the property the CI smoke pins).
     pub fresh_shots: usize,
+    /// Points whose engine run panicked (panic isolation only).
+    pub poisoned: Vec<PoisonedPoint>,
+    /// Corrupt cache entries found and overwritten by recomputation.
+    pub corrupt_replaced: usize,
 }
 
 impl SweepReport {
-    /// Total points in the sweep.
+    /// Total points in the sweep (including poisoned ones).
     pub fn total_points(&self) -> usize {
-        self.fresh_points + self.cached_points
+        self.fresh_points + self.cached_points + self.poisoned.len()
     }
 }
 
-/// Runs sweeps point-parallel over an optional [`SweepCache`].
+/// The outcome of one grid point under the orchestrator.
+#[derive(Debug, Clone)]
+pub enum PointOutcome {
+    /// Replayed byte-for-byte from the cache.
+    Cached(ExperimentRecord),
+    /// Ran through the engine (and persisted, when a cache is attached).
+    Fresh {
+        /// The freshly computed record.
+        record: ExperimentRecord,
+        /// Whether a corrupt cache entry was found and overwritten.
+        replaced_corrupt: bool,
+    },
+    /// The engine run panicked; the panic was contained.
+    Poisoned(PoisonedPoint),
+}
+
+/// Runs sweeps point-parallel over an optional [`SweepCache`], with
+/// per-point panic isolation and advisory single-writer cache locking.
 #[derive(Debug, Clone, Default)]
 pub struct Orchestrator {
     cache: Option<SweepCache>,
     point_threads: usize,
+    isolate_panics: bool,
+    lock_opts: LockOptions,
+    io_backoff: Backoff,
+}
+
+thread_local! {
+    /// Set while a worker intentionally contains panics, so the process
+    /// panic hook stays quiet about them (the poisoned-point report is the
+    /// observable, not a backtrace on stderr).
+    static CONTAINING_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that suppresses output for
+/// panics the orchestrator is about to catch and report as poisoned
+/// points; every other panic goes to the previously installed hook.
+fn install_contained_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CONTAINING_PANICS.with(|c| c.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Renders a caught panic payload (the `&str` / `String` cases cover every
+/// `panic!` and failed `assert!` in the engine).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl Orchestrator {
@@ -317,6 +681,29 @@ impl Orchestrator {
         self
     }
 
+    /// Turns a panicking grid point into a [`PoisonedPoint`] entry of the
+    /// report instead of failing the whole run — the fault-isolation mode
+    /// the `raa-sweepd` service runs in. Off by default: a panic then
+    /// fails the run with [`OrchestratorError::Poisoned`] (but still never
+    /// unwinds through the caller).
+    pub fn with_panic_isolation(mut self, isolate: bool) -> Self {
+        self.isolate_panics = isolate;
+        self
+    }
+
+    /// Configures the advisory per-entry lock discipline (wait, backoff,
+    /// staleness) used around cold-point sampling and cache writes.
+    pub fn with_lock_options(mut self, opts: LockOptions) -> Self {
+        self.lock_opts = opts;
+        self
+    }
+
+    /// Configures the bounded retry schedule for transient cache-write I/O.
+    pub fn with_io_backoff(mut self, backoff: Backoff) -> Self {
+        self.io_backoff = backoff;
+        self
+    }
+
     /// The attached cache, if any.
     pub fn cache(&self) -> Option<&SweepCache> {
         self.cache.as_ref()
@@ -327,49 +714,127 @@ impl Orchestrator {
     ///
     /// # Errors
     ///
-    /// Only cache I/O can fail (creating, reading or atomically renaming
-    /// entry files); without a cache the run is infallible.
-    pub fn run(&self, grid: &SweepGrid) -> io::Result<SweepReport> {
+    /// [`OrchestratorError::Io`] when cache I/O fails past the retry
+    /// budget, [`OrchestratorError::Poisoned`] when a point panics without
+    /// panic isolation, [`OrchestratorError::PoolBuild`] when the
+    /// point-thread configuration cannot build a worker pool. Without a
+    /// cache and with panic isolation, the run is infallible.
+    pub fn run(&self, grid: &SweepGrid) -> Result<SweepReport, OrchestratorError> {
         self.run_specs(&grid.specs())
     }
 
-    /// [`Orchestrator::run`] over an explicit spec list.
-    pub fn run_specs(&self, specs: &[ExperimentSpec]) -> io::Result<SweepReport> {
-        let point_parallel = self.point_threads != 1;
-        let run_point = |spec: &ExperimentSpec| -> io::Result<(ExperimentRecord, bool)> {
-            if let Some(cache) = &self.cache {
-                if let Some(record) = cache.load(spec) {
-                    return Ok((record, false));
-                }
+    /// Runs one spec through the full per-point pipeline: cache lookup →
+    /// advisory entry lock → double-checked lookup → engine run under
+    /// `catch_unwind` → retried atomic persist. `single_threaded` forces
+    /// the point's inner Monte-Carlo to one thread (what the point-parallel
+    /// and service worker pools do; the record is identical either way).
+    ///
+    /// # Errors
+    ///
+    /// Only cache I/O past the retry budget errors; a panicking engine run
+    /// is an `Ok(PointOutcome::Poisoned(..))`, and lock-wait exhaustion
+    /// falls back to (correct, duplicated) sampling.
+    pub fn run_point(
+        &self,
+        index: usize,
+        spec: &ExperimentSpec,
+        single_threaded: bool,
+    ) -> Result<PointOutcome, OrchestratorError> {
+        let mut replaced_corrupt = false;
+        let mut lock = None;
+        if let Some(cache) = &self.cache {
+            match cache.lookup(spec) {
+                CacheLookup::Hit(record) => return Ok(PointOutcome::Cached(record)),
+                CacheLookup::Miss => {}
+                CacheLookup::Corrupt(_) => replaced_corrupt = true,
             }
-            let record = if point_parallel {
-                // Points occupy the worker pool; nesting another pool per
-                // point would oversubscribe without changing any record.
+            // Single-writer discipline: take the entry lock *before*
+            // sampling so a contending orchestrator waits for our record
+            // instead of duplicating the work. The lock is advisory — on
+            // bounded-wait exhaustion we sample anyway (liveness over
+            // dedup; determinism makes the duplicate byte-identical).
+            match cache.exclusive(spec, &self.lock_opts) {
+                Ok(l) => {
+                    // Double-check under the lock: the previous holder may
+                    // have just produced this very entry.
+                    if let CacheLookup::Hit(record) = cache.lookup(spec) {
+                        return Ok(PointOutcome::Cached(record));
+                    }
+                    lock = Some(l);
+                }
+                Err(OrchestratorError::LockTimeout { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        install_contained_panic_hook();
+        let run_engine = || {
+            if single_threaded {
+                // This point shares a worker pool; nesting another pool
+                // would oversubscribe without changing any record.
                 let mut inner = spec.clone();
                 inner.mc.threads = 1;
                 engine::run(&inner)
             } else {
                 engine::run(spec)
-            };
-            if let Some(cache) = &self.cache {
-                cache.store(spec, &record)?;
             }
-            Ok((record, true))
+        };
+        CONTAINING_PANICS.with(|c| c.set(true));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run_engine));
+        CONTAINING_PANICS.with(|c| c.set(false));
+        let record = match result {
+            Ok(record) => record,
+            Err(payload) => {
+                return Ok(PointOutcome::Poisoned(PoisonedPoint {
+                    index,
+                    name: spec.name.clone(),
+                    key: spec_cache_key(spec),
+                    message: panic_message(payload),
+                }))
+            }
         };
 
-        let results: Vec<io::Result<(ExperimentRecord, bool)>> = if point_parallel {
+        if let Some(cache) = &self.cache {
+            retry_io(&self.io_backoff, || cache.store(spec, &record)).map_err(|e| {
+                OrchestratorError::io(
+                    format!(
+                        "persisting cache entry {}",
+                        cache.entry_path(spec).display()
+                    ),
+                    e,
+                )
+            })?;
+        }
+        drop(lock);
+        Ok(PointOutcome::Fresh {
+            record,
+            replaced_corrupt,
+        })
+    }
+
+    /// [`Orchestrator::run`] over an explicit spec list.
+    pub fn run_specs(&self, specs: &[ExperimentSpec]) -> Result<SweepReport, OrchestratorError> {
+        let point_parallel = self.point_threads != 1;
+        let results: Vec<Result<PointOutcome, OrchestratorError>> = if point_parallel {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(self.point_threads)
                 .build()
-                .expect("building the sweep point pool");
+                .map_err(|e| OrchestratorError::PoolBuild {
+                    requested: self.point_threads,
+                    detail: e.to_string(),
+                })?;
             pool.install(|| {
                 (0..specs.len())
                     .into_par_iter()
-                    .map(|i| run_point(&specs[i]))
+                    .map(|i| self.run_point(i, &specs[i], true))
                     .collect()
             })
         } else {
-            specs.iter().map(run_point).collect()
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| self.run_point(i, spec, false))
+                .collect()
         };
 
         let mut report = SweepReport {
@@ -377,16 +842,32 @@ impl Orchestrator {
             fresh_points: 0,
             cached_points: 0,
             fresh_shots: 0,
+            poisoned: Vec::new(),
+            corrupt_replaced: 0,
         };
         for result in results {
-            let (record, fresh) = result?;
-            if fresh {
-                report.fresh_points += 1;
-                report.fresh_shots += record.shots;
-            } else {
-                report.cached_points += 1;
+            match result? {
+                PointOutcome::Cached(record) => {
+                    report.cached_points += 1;
+                    report.records.push(record);
+                }
+                PointOutcome::Fresh {
+                    record,
+                    replaced_corrupt,
+                } => {
+                    report.fresh_points += 1;
+                    report.fresh_shots += record.shots;
+                    report.corrupt_replaced += usize::from(replaced_corrupt);
+                    report.records.push(record);
+                }
+                PointOutcome::Poisoned(poisoned) => {
+                    if self.isolate_panics {
+                        report.poisoned.push(poisoned);
+                    } else {
+                        return Err(OrchestratorError::Poisoned(poisoned));
+                    }
+                }
             }
-            report.records.push(record);
         }
         Ok(report)
     }
@@ -501,6 +982,12 @@ mod tests {
         for (a, b) in plain.iter().zip(&cold.records) {
             assert_eq!(a.to_json(), b.to_json());
         }
+        // No locks or temp files survive a clean run.
+        for f in fs::read_dir(&tmp.0).unwrap() {
+            let name = f.unwrap().file_name();
+            let name = name.to_string_lossy();
+            assert!(name.ends_with(".json"), "leftover {name}");
+        }
     }
 
     #[test]
@@ -540,6 +1027,7 @@ mod tests {
         let healed = orch.run(&grid).unwrap();
         assert_eq!(healed.fresh_points, 2);
         assert_eq!(healed.cached_points, 2);
+        assert_eq!(healed.corrupt_replaced, 2);
         for (a, b) in cold.records.iter().zip(&healed.records) {
             assert_eq!(a.to_json(), b.to_json());
         }
@@ -603,6 +1091,10 @@ mod tests {
         for r in &report.records[1..] {
             assert_eq!(r.to_json(), report.records[0].to_json());
         }
+        // With entry locking, at most one of the duplicates should have
+        // sampled; the rest wait on the lock and replay the winner.
+        assert!(report.fresh_points >= 1);
+        assert_eq!(report.fresh_points + report.cached_points, 4);
     }
 
     #[test]
@@ -629,5 +1121,200 @@ mod tests {
         assert_eq!(report.fresh_points, 4);
         assert_eq!(report.total_points(), 4);
         assert_eq!(report.fresh_shots, 4 * 512);
+        assert!(report.poisoned.is_empty());
+    }
+
+    /// A spec whose engine run panics (zero SE rounds trip the
+    /// `Rounds::resolve` assertion) — the fault-injection workhorse.
+    fn poison_spec() -> ExperimentSpec {
+        let mut spec = small_grid().specs().remove(0);
+        spec.name = "orch/poison".into();
+        spec.scenario = Scenario::Memory {
+            rounds: Rounds::Fixed(0),
+        };
+        spec
+    }
+
+    #[test]
+    fn poisoned_point_fails_typed_without_isolation() {
+        let mut specs = small_grid().specs();
+        specs.insert(1, poison_spec());
+        let err = Orchestrator::new()
+            .with_point_threads(1)
+            .run_specs(&specs)
+            .unwrap_err();
+        match err {
+            OrchestratorError::Poisoned(p) => {
+                assert_eq!(p.index, 1);
+                assert_eq!(p.name, "orch/poison");
+                assert!(p.message.contains("SE round"), "{}", p.message);
+            }
+            other => panic!("expected Poisoned, got {other}"),
+        }
+    }
+
+    #[test]
+    fn panic_isolation_quarantines_and_completes_the_rest() {
+        let grid = small_grid();
+        let mut specs = grid.specs();
+        specs.insert(2, poison_spec());
+        let report = Orchestrator::new()
+            .with_panic_isolation(true)
+            .run_specs(&specs)
+            .unwrap();
+        assert_eq!(report.poisoned.len(), 1);
+        assert_eq!(report.poisoned[0].index, 2);
+        assert_eq!(report.records.len(), 4, "all healthy points completed");
+        assert_eq!(report.total_points(), 5);
+        // The healthy records are exactly the plain sweep's.
+        let plain = run_sweep(&grid);
+        for (a, b) in plain.iter().zip(&report.records) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
+    }
+
+    #[test]
+    fn scrub_quarantines_corrupt_and_clears_stale_litter() {
+        let tmp = TempDir::new("scrub");
+        let grid = small_grid();
+        let specs = grid.specs();
+        let orch = Orchestrator::new().with_cache_dir(&tmp.0).unwrap();
+        orch.run(&grid).unwrap();
+        let cache = orch.cache().unwrap();
+        // A torn entry, an orphaned temp file and an abandoned lock.
+        fs::write(cache.entry_path(&specs[0]), "{\"nope").unwrap();
+        fs::write(tmp.0.join("deadbeef.tmp.1234.0"), "partial").unwrap();
+        fs::write(tmp.0.join(format!("{}.lock", "ab".repeat(16))), "pid 1\n").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let opts = ScrubOptions {
+            stale_tmp_after: Duration::from_millis(5),
+            stale_lock_after: Duration::from_millis(5),
+            ..ScrubOptions::default()
+        };
+        let report = cache.scrub(&opts).unwrap();
+        assert_eq!(report.scanned, 4);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.healthy, 3);
+        assert_eq!(report.stale_tmps_removed, 1);
+        assert_eq!(report.stale_locks_removed, 1);
+        assert!(cache.quarantine_dir().exists());
+        assert!(!cache.entry_path(&specs[0]).exists());
+        // The quarantined point is a miss, so the next sweep heals it.
+        let healed = orch.run(&grid).unwrap();
+        assert_eq!(healed.fresh_points, 1);
+    }
+
+    #[test]
+    fn scrub_evicts_lru_over_size_budget() {
+        let tmp = TempDir::new("evict");
+        let grid = small_grid();
+        let specs = grid.specs();
+        let orch = Orchestrator::new().with_cache_dir(&tmp.0).unwrap();
+        orch.run(&grid).unwrap();
+        let cache = orch.cache().unwrap();
+        // Make one entry decisively the oldest.
+        let oldest = cache.entry_path(&specs[0]);
+        std::thread::sleep(Duration::from_millis(20));
+        for spec in &specs[1..] {
+            let record = cache.load(spec).unwrap();
+            cache.store(spec, &record).unwrap(); // refresh mtime
+        }
+        let total: u64 = specs
+            .iter()
+            .map(|s| fs::metadata(cache.entry_path(s)).unwrap().len())
+            .sum();
+        let report = cache
+            .scrub(&ScrubOptions {
+                size_budget: Some(total - 1),
+                ..ScrubOptions::default()
+            })
+            .unwrap();
+        assert_eq!(report.evicted, 1);
+        assert!(!oldest.exists(), "LRU entry evicted first");
+        assert!(report.bytes_after < total);
+        for spec in &specs[1..] {
+            assert!(cache.entry_path(spec).exists());
+        }
+    }
+
+    #[test]
+    fn validate_entry_classifies_corruption() {
+        let tmp = TempDir::new("validate");
+        fs::create_dir_all(&tmp.0).unwrap();
+        let spec = small_grid().specs().remove(0);
+        let record = engine::run(&spec);
+        let good = tmp.0.join("good.json");
+        fs::write(&good, format!("{}\n", record.to_json())).unwrap();
+        assert_eq!(SweepCache::validate_entry(&good).unwrap(), record);
+
+        let torn = tmp.0.join("torn.json");
+        fs::write(&torn, "{\"name\":\"x").unwrap();
+        match SweepCache::validate_entry(&torn) {
+            Err(OrchestratorError::CorruptEntry { detail, .. }) => {
+                assert!(detail.contains("unparsable"), "{detail}")
+            }
+            other => panic!("expected CorruptEntry, got {other:?}"),
+        }
+
+        let mut impossible = record.clone();
+        impossible.failures = impossible.shots + 1;
+        let inconsistent = tmp.0.join("inconsistent.json");
+        fs::write(&inconsistent, format!("{}\n", impossible.to_json())).unwrap();
+        match SweepCache::validate_entry(&inconsistent) {
+            Err(OrchestratorError::CorruptEntry { detail, .. }) => {
+                assert!(detail.contains("failures"), "{detail}")
+            }
+            other => panic!("expected CorruptEntry, got {other:?}"),
+        }
+
+        match SweepCache::validate_entry(&tmp.0.join("absent.json")) {
+            Err(OrchestratorError::Io { .. }) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exclusive_lock_times_out_typed() {
+        let tmp = TempDir::new("locktimeout");
+        let spec = small_grid().specs().remove(0);
+        let orch = Orchestrator::new().with_cache_dir(&tmp.0).unwrap();
+        let cache = orch.cache().unwrap();
+        let held = cache.exclusive(&spec, &LockOptions::default()).unwrap();
+        let short = LockOptions {
+            wait: Duration::from_millis(20),
+            ..LockOptions::default()
+        };
+        match cache.exclusive(&spec, &short) {
+            Err(OrchestratorError::LockTimeout { path, .. }) => {
+                assert_eq!(path, cache.lock_path(&spec))
+            }
+            other => panic!("expected LockTimeout, got {other:?}"),
+        }
+        held.release().unwrap();
+    }
+
+    #[test]
+    fn held_entry_lock_does_not_block_correctness() {
+        // A wedged (but fresh) lock from another process: the orchestrator
+        // waits out its bounded patience, then samples anyway.
+        let tmp = TempDir::new("lockfallback");
+        let spec = small_grid().specs().remove(0);
+        let orch = Orchestrator::new()
+            .with_point_threads(1)
+            .with_lock_options(LockOptions {
+                wait: Duration::from_millis(30),
+                ..LockOptions::default()
+            })
+            .with_cache_dir(&tmp.0)
+            .unwrap();
+        let cache = orch.cache().unwrap().clone();
+        let _wedge = FileLock::acquire(cache.lock_path(&spec), &LockOptions::default()).unwrap();
+        let report = orch.run_specs(std::slice::from_ref(&spec)).unwrap();
+        assert_eq!(report.fresh_points, 1, "lock fallback sampled");
+        assert_eq!(
+            report.records[0].to_json(),
+            engine::run(&spec).to_json(),
+            "fallback record is the deterministic one"
+        );
     }
 }

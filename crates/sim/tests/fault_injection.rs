@@ -1,0 +1,255 @@
+//! Fault-injection coverage for the cached sweep orchestrator: every
+//! failure class the `raa-sweepd` tentpole contains — corrupt entries,
+//! panicking points, cross-process cache contention, kill-mid-write
+//! litter — exercised end to end against the byte-determinism contract.
+
+use raa_sim::lock::LockOptions;
+use raa_sim::{
+    run_sweep, spec_cache_key, Orchestrator, OrchestratorError, Rounds, Scenario, ScrubOptions,
+    ShotBudget, SweepCache, SweepGrid,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("raa-fault-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn grid() -> SweepGrid {
+    SweepGrid::new(
+        "fault/memory",
+        Scenario::Memory {
+            rounds: Rounds::Fixed(2),
+        },
+    )
+    .with_distances(vec![3, 5])
+    .with_p_phys(vec![3e-3, 5e-3])
+    .with_shots(ShotBudget::Fixed(384))
+    .with_seed(0xFA17)
+}
+
+/// A corrupt entry discovered mid-sweep is recomputed in place and the
+/// final records are byte-identical to an untouched cold sweep.
+#[test]
+fn corrupt_entry_mid_sweep_heals_and_matches_reference() {
+    let tmp = TempDir::new("corrupt");
+    let grid = grid();
+    let reference = run_sweep(&grid);
+    let orch = Orchestrator::new().with_cache_dir(&tmp.0).unwrap();
+    orch.run(&grid).unwrap();
+
+    // Corrupt one entry three different ways across three sweeps: torn
+    // JSON, binary garbage, an empty file.
+    let specs = grid.specs();
+    for (i, garbage) in [
+        "{\"name\":\"fault/mem",
+        "\u{0}\u{1}\u{2}not json at all",
+        "",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let victim = orch.cache().unwrap().entry_path(&specs[i]);
+        fs::write(&victim, garbage).unwrap();
+        let healed = orch.run(&grid).unwrap();
+        assert_eq!(healed.fresh_points, 1, "only the corrupt point re-ran");
+        assert_eq!(healed.corrupt_replaced, 1);
+        for (a, b) in reference.iter().zip(&healed.records) {
+            assert_eq!(a.to_json(), b.to_json(), "byte-identical after healing");
+        }
+    }
+}
+
+/// A panicking grid point is quarantined in the report while the sweep
+/// completes; without isolation the same point fails the job typed (and
+/// the process survives either way).
+#[test]
+fn panicking_point_is_quarantined_and_sweep_completes() {
+    let tmp = TempDir::new("poison");
+    let grid = grid();
+    let mut specs = grid.specs();
+    let mut poison = specs[0].clone();
+    poison.name = "fault/poison".into();
+    poison.scenario = Scenario::Memory {
+        rounds: Rounds::Fixed(0), // trips the "need at least one SE round" assert
+    };
+    specs.insert(2, poison.clone());
+
+    let isolated = Orchestrator::new()
+        .with_panic_isolation(true)
+        .with_cache_dir(&tmp.0)
+        .unwrap();
+    let report = isolated.run_specs(&specs).unwrap();
+    assert_eq!(report.poisoned.len(), 1);
+    assert_eq!(report.poisoned[0].index, 2);
+    assert_eq!(report.poisoned[0].key, spec_cache_key(&poison));
+    assert!(report.poisoned[0].message.contains("SE round"));
+    let reference = run_sweep(&grid);
+    assert_eq!(report.records.len(), reference.len());
+    for (a, b) in reference.iter().zip(&report.records) {
+        assert_eq!(a.to_json(), b.to_json(), "healthy points unaffected");
+    }
+
+    // Same spec list without isolation: a typed job failure, not a crash,
+    // and the healthy points' cache entries are still there.
+    let strict = Orchestrator::new().with_cache_dir(&tmp.0).unwrap();
+    match strict.run_specs(&specs) {
+        Err(OrchestratorError::Poisoned(p)) => assert_eq!(p.index, 2),
+        other => panic!("expected Poisoned, got {other:?}"),
+    }
+    let warm = strict.run(&grid).unwrap();
+    assert_eq!(warm.fresh_shots, 0, "cache survived the poisoned job");
+}
+
+/// Two orchestrators in separate threads contending on one cache dir: the
+/// merged cache equals a single-process cold sweep byte for byte, and no
+/// point was lost or torn.
+#[test]
+fn contending_orchestrators_share_one_cache_without_corruption() {
+    let tmp = TempDir::new("contend");
+    let grid = grid();
+    let reference = run_sweep(&grid);
+    let dir = tmp.0.clone();
+
+    let threads: Vec<_> = (0..2)
+        .map(|i| {
+            let dir = dir.clone();
+            let grid = grid.clone();
+            std::thread::Builder::new()
+                .name(format!("contender-{i}"))
+                .spawn(move || {
+                    let orch = Orchestrator::new()
+                        .with_point_threads(2)
+                        .with_cache_dir(&dir)
+                        .unwrap();
+                    orch.run(&grid).unwrap()
+                })
+                .unwrap()
+        })
+        .collect();
+    let reports: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    for report in &reports {
+        assert_eq!(report.records.len(), reference.len());
+        for (a, b) in reference.iter().zip(&report.records) {
+            assert_eq!(a.to_json(), b.to_json(), "contended run bit-identical");
+        }
+    }
+    // Entry locking means the two processes together sampled each point at
+    // most once wherever the lock arbitration won; in every case the total
+    // work is bounded and the cache holds exactly the reference bytes.
+    let cache = SweepCache::open(&tmp.0).unwrap();
+    for (spec, expected) in grid.specs().iter().zip(&reference) {
+        let entry = fs::read_to_string(cache.entry_path(spec)).unwrap();
+        assert_eq!(entry.trim_end(), expected.to_json(), "on-disk bytes exact");
+    }
+}
+
+/// Kill-mid-write: a writer died leaving a temp file and a held lock. The
+/// next sweep must resume past the litter (bounded lock wait, then
+/// sampling), and a scrub pass must clean the litter up.
+#[test]
+fn kill_mid_write_litter_does_not_block_resume() {
+    let tmp = TempDir::new("killed");
+    let grid = grid();
+    let specs = grid.specs();
+    let orch = Orchestrator::new()
+        .with_lock_options(LockOptions {
+            wait: Duration::from_millis(50),
+            stale_after: Duration::from_secs(3_600), // stale-breaking off: the wait must save us
+            ..LockOptions::default()
+        })
+        .with_cache_dir(&tmp.0)
+        .unwrap();
+    let cache = orch.cache().unwrap();
+
+    // The killed process left: a partial temp file, a held entry lock for
+    // a point that never completed, and one missing entry.
+    let key = spec_cache_key(&specs[1]);
+    fs::write(tmp.0.join(format!("{key}.tmp.99999.0")), "{\"partial").unwrap();
+    fs::write(cache.lock_path(&specs[1]), "pid 99999\n").unwrap();
+
+    let report = orch.run(&grid).unwrap();
+    assert_eq!(
+        report.fresh_points, 4,
+        "all points completed despite litter"
+    );
+    let reference = run_sweep(&grid);
+    for (a, b) in reference.iter().zip(&report.records) {
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    // Scrub clears what the dead writer left behind.
+    std::thread::sleep(Duration::from_millis(20));
+    let scrub = cache
+        .scrub(&ScrubOptions {
+            stale_tmp_after: Duration::from_millis(5),
+            stale_lock_after: Duration::from_millis(5),
+            ..ScrubOptions::default()
+        })
+        .unwrap();
+    assert_eq!(scrub.stale_tmps_removed, 1);
+    assert_eq!(scrub.stale_locks_removed, 1);
+    assert_eq!(scrub.quarantined, 0);
+    assert_eq!(scrub.healthy, 4);
+
+    // And the cache is fully warm afterwards.
+    let warm = orch.run(&grid).unwrap();
+    assert_eq!(warm.fresh_shots, 0);
+}
+
+/// A sweep interrupted *between* entries (some cached, some not) resumes
+/// exactly the missing work — under lock contention from a parallel
+/// duplicate of itself.
+#[test]
+fn interrupted_then_contended_resume_is_exact() {
+    let tmp = TempDir::new("resume");
+    let grid = grid();
+    let specs = grid.specs();
+    let orch = Orchestrator::new().with_cache_dir(&tmp.0).unwrap();
+    orch.run(&grid).unwrap();
+    // Drop half the entries (simulated crash halfway).
+    let cache = orch.cache().unwrap();
+    fs::remove_file(cache.entry_path(&specs[1])).unwrap();
+    fs::remove_file(cache.entry_path(&specs[3])).unwrap();
+
+    let dir = tmp.0.clone();
+    let racers: Vec<_> = (0..2)
+        .map(|_| {
+            let dir = dir.clone();
+            let grid = grid.clone();
+            std::thread::spawn(move || {
+                Orchestrator::new()
+                    .with_cache_dir(&dir)
+                    .unwrap()
+                    .run(&grid)
+                    .unwrap()
+            })
+        })
+        .collect();
+    let reports: Vec<_> = racers.into_iter().map(|t| t.join().unwrap()).collect();
+    let total_fresh: usize = reports.iter().map(|r| r.fresh_points).sum();
+    assert!(
+        (2..=4).contains(&total_fresh),
+        "at most both racers re-ran the two missing points, got {total_fresh}"
+    );
+    let reference = run_sweep(&grid);
+    for report in &reports {
+        for (a, b) in reference.iter().zip(&report.records) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
+    }
+}
