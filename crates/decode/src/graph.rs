@@ -17,6 +17,16 @@ pub enum GraphError {
         /// Number of detectors of the offending mechanism.
         num_detectors: usize,
     },
+    /// The edge weights cannot be quantized for weighted cluster growth:
+    /// either an edge weight is non-finite (a NaN probability survives the
+    /// construction clamp), or the maximum weight is indistinguishable from
+    /// zero (every probability ≈ 1/2), so dividing by it would flatten or
+    /// corrupt the growth order.
+    DegenerateWeights {
+        /// The first offending edge for a non-finite weight; `None` when
+        /// the failure is a ~zero maximum weight.
+        edge: Option<u32>,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -26,6 +36,15 @@ impl fmt::Display for GraphError {
                 f,
                 "detector error model is not graphlike: mechanism flips {num_detectors} detectors \
                  (decompose it first)"
+            ),
+            GraphError::DegenerateWeights { edge: Some(e) } => write!(
+                f,
+                "edge {e} has a non-finite weight: cannot quantize weights for cluster growth"
+            ),
+            GraphError::DegenerateWeights { edge: None } => write!(
+                f,
+                "maximum edge weight is ~zero (all probabilities ≈ 1/2): cannot quantize weights \
+                 for cluster growth"
             ),
         }
     }
@@ -176,6 +195,151 @@ impl DecodingGraph {
     }
 }
 
+/// Growth resolution for quantized union-find weights: the heaviest edge
+/// costs this many unit growth steps.
+pub(crate) const WEIGHT_QUANTA: f64 = 32.0;
+
+/// A decoding graph compiled once into flat arenas for the decode hot path.
+///
+/// [`DecodingGraph`] keeps one `Vec` of incident edges per detector, which is
+/// convenient to build but scatters the per-shot adjacency walk across as
+/// many heap allocations as there are detectors. `CompiledGraph` repacks the
+/// same structure into CSR form — one offsets array plus one flat edge-index
+/// arena — along with struct-of-arrays edge endpoints, weights already
+/// quantized to [`WEIGHT_QUANTA`] units, and the per-edge observable masks.
+/// It is built once per `(DEM, window)` and shared read-only by every decode
+/// worker; nothing in it changes per shot.
+///
+/// The virtual boundary is encoded as node index `num_detectors` so endpoint
+/// comparisons stay branch-free in the growth loop.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    num_detectors: usize,
+    /// CSR offsets: edges incident to detector `d` live at
+    /// `adj_edges[adj_off[d]..adj_off[d + 1]]`.
+    adj_off: Vec<u32>,
+    adj_edges: Vec<u32>,
+    /// Edge endpoints; the boundary is encoded as `num_detectors`.
+    endpoints: Vec<[u32; 2]>,
+    /// Edge weights in integer growth quanta (always ≥ 1).
+    weights: Vec<u32>,
+    /// Observable mask flipped when the edge joins a correction.
+    observables: Vec<u64>,
+    /// True when built by [`CompiledGraph::compile_uniform`].
+    uniform: bool,
+}
+
+impl CompiledGraph {
+    /// Compiles `graph` with log-likelihood weights quantized to
+    /// [`WEIGHT_QUANTA`] integer growth units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DegenerateWeights`] when a weight is non-finite
+    /// or the maximum weight is ~zero (all probabilities ≈ 1/2), because the
+    /// quantization divides by the maximum weight. Callers that can tolerate
+    /// losing the weighting should fall back to
+    /// [`CompiledGraph::compile_uniform`].
+    pub fn compile(graph: &DecodingGraph) -> Result<Self, GraphError> {
+        let mut max_w = 0.0f64;
+        for (i, e) in graph.edges().iter().enumerate() {
+            if !e.weight.is_finite() {
+                return Err(GraphError::DegenerateWeights {
+                    edge: Some(i as u32),
+                });
+            }
+            max_w = max_w.max(e.weight);
+        }
+        if !graph.edges().is_empty() && max_w < 1e-9 {
+            return Err(GraphError::DegenerateWeights { edge: None });
+        }
+        let weights = graph
+            .edges()
+            .iter()
+            .map(|e| ((e.weight / max_w * WEIGHT_QUANTA).round() as u32).max(1))
+            .collect();
+        Ok(Self::assemble(graph, weights, false))
+    }
+
+    /// Compiles `graph` with every edge given unit weight, ignoring the
+    /// probabilities. This is the degenerate-weight fallback: growth order
+    /// becomes pure hop distance, which matches what the quantizer produces
+    /// anyway when all weights collapse to the same quantum.
+    pub fn compile_uniform(graph: &DecodingGraph) -> Self {
+        Self::assemble(graph, vec![1; graph.num_edges()], true)
+    }
+
+    fn assemble(graph: &DecodingGraph, weights: Vec<u32>, uniform: bool) -> Self {
+        let nd = graph.num_detectors();
+        let boundary = nd as u32;
+        let mut adj_off = Vec::with_capacity(nd + 1);
+        let mut adj_edges = Vec::new();
+        adj_off.push(0);
+        for d in 0..nd {
+            adj_edges.extend_from_slice(graph.incident(d as u32));
+            adj_off.push(adj_edges.len() as u32);
+        }
+        let endpoints = graph
+            .edges()
+            .iter()
+            .map(|e| [e.u, e.v.unwrap_or(boundary)])
+            .collect();
+        let observables = graph.edges().iter().map(|e| e.observables).collect();
+        Self {
+            num_detectors: nd,
+            adj_off,
+            adj_edges,
+            endpoints,
+            weights,
+            observables,
+            uniform,
+        }
+    }
+
+    /// Number of detector nodes (the boundary is encoded as this index).
+    #[inline]
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Edge indices incident to detector `d`.
+    #[inline]
+    pub fn incident(&self, d: u32) -> &[u32] {
+        let d = d as usize;
+        &self.adj_edges[self.adj_off[d] as usize..self.adj_off[d + 1] as usize]
+    }
+
+    /// Both endpoints of edge `e`; the boundary is `num_detectors`.
+    #[inline]
+    pub fn endpoints(&self, e: u32) -> [u32; 2] {
+        self.endpoints[e as usize]
+    }
+
+    /// Quantized integer weight of edge `e` (growth units, ≥ 1).
+    #[inline]
+    pub fn weight(&self, e: u32) -> u32 {
+        self.weights[e as usize]
+    }
+
+    /// Observable mask of edge `e`.
+    #[inline]
+    pub fn observables(&self, e: u32) -> u64 {
+        self.observables[e as usize]
+    }
+
+    /// Whether this graph was compiled with the uniform-weight fallback.
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        self.uniform
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +415,71 @@ mod tests {
         let g = DecodingGraph::from_dem(&d).unwrap();
         assert!((g.undetectable_observable_probability() - 0.03).abs() < 1e-12);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn compiled_graph_mirrors_adjacency_and_quantizes_weights() {
+        let d = dem(
+            vec![err(&[0], 1, 0.01), err(&[0, 1], 0, 0.1), err(&[1], 0, 0.01)],
+            2,
+        );
+        let g = DecodingGraph::from_dem(&d).unwrap();
+        let c = CompiledGraph::compile(&g).unwrap();
+        assert_eq!(c.num_detectors(), 2);
+        assert_eq!(c.num_edges(), 3);
+        assert!(!c.is_uniform());
+        for det in 0..2u32 {
+            assert_eq!(c.incident(det), g.incident(det));
+        }
+        // Boundary encoded as num_detectors.
+        assert_eq!(c.endpoints(0), [0, 2]);
+        assert_eq!(c.endpoints(1), [0, 1]);
+        assert_eq!(c.observables(0), 1);
+        // Heaviest edge gets WEIGHT_QUANTA units; the less likely edges are
+        // heavier than the p=0.1 bulk edge.
+        assert_eq!(c.weight(0), WEIGHT_QUANTA as u32);
+        assert!(c.weight(1) < c.weight(0));
+        for e in 0..3 {
+            assert!(c.weight(e) >= 1);
+        }
+    }
+
+    #[test]
+    fn compile_rejects_all_half_probability_weights() {
+        // p = 0.5 clamps to weight ~0 for every edge: max_w ~ 0.
+        let d = dem(vec![err(&[0], 0, 0.5), err(&[0, 1], 0, 0.5)], 2);
+        let g = DecodingGraph::from_dem(&d).unwrap();
+        let e = CompiledGraph::compile(&g).unwrap_err();
+        assert_eq!(e, GraphError::DegenerateWeights { edge: None });
+        assert!(e.to_string().contains("maximum edge weight"));
+    }
+
+    #[test]
+    fn compile_rejects_non_finite_weights() {
+        // A NaN probability survives the clamp as NaN and yields a NaN weight.
+        let d = dem(vec![err(&[0], 0, 0.01), err(&[0, 1], 0, f64::NAN)], 2);
+        let g = DecodingGraph::from_dem(&d).unwrap();
+        let e = CompiledGraph::compile(&g).unwrap_err();
+        assert_eq!(e, GraphError::DegenerateWeights { edge: Some(1) });
+        assert!(e.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn uniform_fallback_compiles_degenerate_graphs() {
+        let d = dem(vec![err(&[0], 0, 0.5), err(&[0, 1], 0, 0.5)], 2);
+        let g = DecodingGraph::from_dem(&d).unwrap();
+        let c = CompiledGraph::compile_uniform(&g);
+        assert!(c.is_uniform());
+        assert_eq!(c.num_edges(), 2);
+        assert!((0..2).all(|e| c.weight(e) == 1));
+    }
+
+    #[test]
+    fn empty_graph_compiles() {
+        let d = dem(vec![], 0);
+        let g = DecodingGraph::from_dem(&d).unwrap();
+        let c = CompiledGraph::compile(&g).unwrap();
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.num_detectors(), 0);
     }
 }

@@ -41,6 +41,23 @@
 //! * [`Decoder::predict`] remains as a convenience wrapper that builds a
 //!   fresh scratch per call — fine for one-off decodes, wasteful in loops.
 //!
+//! # The batch decode contract
+//!
+//! [`Decoder::predict_batch_into`] decodes a whole bit-packed
+//! [`raa_stabsim::SyndromeBatch`] in one call. Its contract: shot `s` of the
+//! output equals what [`Decoder::predict_into`] returns for shot `s`'s
+//! extracted defect list — batching changes execution strategy (epoch-tagged
+//! scratch reset, word-skipping defect extraction, a graph precompiled into
+//! flat arenas), never decisions, so results are **bit-identical** to the
+//! per-shot path. The Monte-Carlo harness exploits this to fuse sampling and
+//! decoding in L1-resident blocks when the sampler advertises a block size
+//! via [`mc::Sampler::fusion_block`]: [`raa_stabsim::DemSampler`] emits
+//! shots in 512-shot blocks whose bit streams do not depend on how the batch
+//! is chunked, so fused decoding reproduces whole-batch `DecodeStats`
+//! exactly; samplers without that guarantee (the gate-level
+//! [`mc::CircuitSampler`], the streaming sampler) simply decline fusion and
+//! keep the materialize-then-decode path.
+//!
 //! Hot loops keep one scratch per thread:
 //!
 //! ```
@@ -96,11 +113,13 @@ pub mod unionfind;
 pub mod windowed;
 
 pub use bp::{BeliefPropagation, BpUfScratch, BpUnionFindDecoder};
-pub use graph::{DecodingGraph, Edge, GraphError};
+pub use graph::{CompiledGraph, DecodingGraph, Edge, GraphError};
 pub use matching::{MatchScratch, MatchingDecoder};
-pub use mc::{CircuitSampler, DecodeStats, McConfig, Sampler, SeedPolicy};
+pub use mc::{CircuitSampler, DecodeStats, McConfig, McError, Sampler, SeedPolicy};
 pub use unionfind::{UfScratch, UnionFindDecoder, UnionFindOutcome};
 pub use windowed::{LayerAssignment, UniformLayers, WindowScratch, WindowState, WindowedDecoder};
+
+use raa_stabsim::SyndromeBatch;
 
 /// A syndrome decoder: predicts which logical observables flipped.
 ///
@@ -126,5 +145,29 @@ pub trait Decoder {
     /// [`Decoder::predict_into`] in loops.
     fn predict(&self, defects: &[u32]) -> u64 {
         self.predict_into(defects, &mut Self::Scratch::default())
+    }
+
+    /// Decodes every shot of a bit-packed [`SyndromeBatch`], pushing one
+    /// predicted observable mask per shot into `out` (cleared first).
+    ///
+    /// **Contract:** shot `s` of `out` must equal what
+    /// [`Decoder::predict_into`] returns for the defect list extracted from
+    /// shot `s` — batching is an execution strategy, never a semantic
+    /// change. The provided implementation decodes shot by shot through
+    /// `predict_into`; decoders with batch-friendly internals (the
+    /// union–find decoder's epoch-tagged scratch) override it to amortize
+    /// per-shot reset costs while preserving the same results bit for bit.
+    fn predict_batch_into(
+        &self,
+        syndromes: &SyndromeBatch,
+        out: &mut Vec<u64>,
+        scratch: &mut Self::Scratch,
+    ) {
+        out.clear();
+        let mut defects = Vec::new();
+        for s in 0..syndromes.num_shots() {
+            syndromes.fired_into(s, &mut defects);
+            out.push(self.predict_into(&defects, scratch));
+        }
     }
 }

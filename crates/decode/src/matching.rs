@@ -19,6 +19,10 @@ use std::collections::BinaryHeap;
 /// Default maximum number of defects for the exact DP.
 pub const DEFAULT_MAX_EXACT_DEFECTS: usize = 20;
 
+/// Detector-count ceiling below which [`MatchingDecoder::new`] precomputes
+/// the all-pairs distance/path tables (the tables are O(detectors²)).
+pub const PRECOMPUTE_MAX_DETECTORS: usize = 512;
+
 /// Reusable working state for [`MatchingDecoder`].
 ///
 /// Construct with `Default::default()`; buffers grow to the largest problem
@@ -48,6 +52,29 @@ pub struct MatchScratch {
     comp_rows: Vec<u32>,
     /// Per-node flags marking Dijkstra targets (defects + boundary).
     is_target: Vec<bool>,
+    /// Per-defect-row flags: row's Dijkstra table is populated this decode.
+    row_done: Vec<bool>,
+}
+
+/// Construction-time all-pairs tables: for every detector, the shortest-path
+/// distance and observable mask to the boundary and to every other detector.
+///
+/// Built by running each detector's Dijkstra to exhaustion once at decoder
+/// construction. Settled nodes carry final distances and predecessor chains,
+/// and the decode-time early-exit Dijkstra explores a prefix of the same
+/// deterministic settle order — so these tables are bit-identical to what the
+/// per-shot searches would have produced, and consulting them changes no
+/// decoding decision.
+#[derive(Debug, Clone)]
+struct Precomputed {
+    /// `bnd_dist[d]`: distance from detector `d` to the boundary.
+    bnd_dist: Vec<f64>,
+    /// `bnd_mask[d]`: observable mask along that boundary path.
+    bnd_mask: Vec<u64>,
+    /// `pair_dist[d * nd + e]`: distance from detector `d` to detector `e`.
+    pair_dist: Vec<f64>,
+    /// `pair_mask[d * nd + e]`: observable mask along that path.
+    pair_mask: Vec<u64>,
 }
 
 /// Exact small-instance matching decoder with greedy fallback.
@@ -76,15 +103,71 @@ pub struct MatchScratch {
 pub struct MatchingDecoder {
     graph: DecodingGraph,
     max_exact_defects: usize,
+    precomputed: Option<Precomputed>,
 }
 
 impl MatchingDecoder {
     /// Builds a decoder owning `graph` with the default exact-DP cap.
+    ///
+    /// Graphs with at most [`PRECOMPUTE_MAX_DETECTORS`] detectors get
+    /// all-pairs distance/path tables precomputed here, so singleton and
+    /// two-defect components decode with no per-shot Dijkstra at all; see
+    /// [`MatchingDecoder::with_precompute`] to override.
     pub fn new(graph: DecodingGraph) -> Self {
-        Self {
+        let mut decoder = Self {
             graph,
             max_exact_defects: DEFAULT_MAX_EXACT_DEFECTS,
+            precomputed: None,
+        };
+        let nd = decoder.graph.num_detectors();
+        if nd > 0 && nd <= PRECOMPUTE_MAX_DETECTORS {
+            decoder.precomputed = Some(decoder.build_precomputed());
         }
+        decoder
+    }
+
+    /// Enables or disables the all-pairs precompute, regardless of graph
+    /// size. The tables are O(detectors²) in memory and cost one full
+    /// Dijkstra per detector to build; decoding results are bit-identical
+    /// either way (the tables only short-circuit searches whose outcomes
+    /// they already hold).
+    pub fn with_precompute(mut self, enabled: bool) -> Self {
+        self.precomputed = if enabled {
+            Some(self.build_precomputed())
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Runs a full (no early exit) Dijkstra from every detector and records
+    /// distance + path-observable mask to the boundary and to every other
+    /// detector.
+    fn build_precomputed(&self) -> Precomputed {
+        let nd = self.graph.num_detectors();
+        let n = nd + 1;
+        let mut scratch = MatchScratch::default();
+        scratch.dist.resize(n, f64::INFINITY);
+        scratch.pred.resize(n, u32::MAX);
+        // All-false targets with `targets == 0`: the early-exit counter never
+        // fires, so the search settles every reachable node.
+        scratch.is_target.resize(n, false);
+        let mut pre = Precomputed {
+            bnd_dist: vec![f64::INFINITY; nd],
+            bnd_mask: vec![0; nd],
+            pair_dist: vec![f64::INFINITY; nd * nd],
+            pair_mask: vec![0; nd * nd],
+        };
+        for d in 0..nd {
+            self.dijkstra(d as u32, 0, 0, &mut scratch);
+            pre.bnd_dist[d] = scratch.dist[nd];
+            pre.bnd_mask[d] = self.path_observables(&scratch, 0, nd as u32);
+            for e in 0..nd {
+                pre.pair_dist[d * nd + e] = scratch.dist[e];
+                pre.pair_mask[d * nd + e] = self.path_observables(&scratch, 0, e as u32);
+            }
+        }
+        pre
     }
 
     /// Sets the maximum number of defects decoded exactly (≤ 24).
@@ -223,8 +306,13 @@ impl MatchingDecoder {
         // Distinct targets: boundary + distinct defects (duplicates in the
         // syndrome would otherwise make the early-exit count unreachable).
         let targets = 1 + scratch.is_target[..boundary].iter().filter(|&&t| t).count();
-        for (row, &d) in defects.iter().enumerate() {
-            self.dijkstra(d, row, targets, scratch);
+        let pre = self.precomputed.as_ref();
+        scratch.row_done.clear();
+        scratch.row_done.resize(k, pre.is_none());
+        if pre.is_none() {
+            for (row, &d) in defects.iter().enumerate() {
+                self.dijkstra(d, row, targets, scratch);
+            }
         }
 
         // Partition defects into independent components: i and j can only
@@ -232,14 +320,24 @@ impl MatchingDecoder {
         // both to the boundary. The bitmask DP then runs per component, so
         // its 2^k cost scales with the largest interacting cluster rather
         // than the whole syndrome.
+        let nd = boundary;
         scratch.comp_parent.clear();
         scratch.comp_parent.extend(0..k as u32);
         for i in 0..k {
             for j in (i + 1)..k {
-                if pair_cost(scratch, n, defects, i, j)
-                    < boundary_cost(scratch, n, boundary, i)
-                        + boundary_cost(scratch, n, boundary, j)
-                {
+                let (pc, bi, bj) = match pre {
+                    Some(p) => (
+                        p.pair_dist[defects[i] as usize * nd + defects[j] as usize],
+                        p.bnd_dist[defects[i] as usize],
+                        p.bnd_dist[defects[j] as usize],
+                    ),
+                    None => (
+                        pair_cost(scratch, n, defects, i, j),
+                        boundary_cost(scratch, n, boundary, i),
+                        boundary_cost(scratch, n, boundary, j),
+                    ),
+                };
+                if pc < bi + bj {
                     comp_union(&mut scratch.comp_parent, i as u32, j as u32);
                 }
             }
@@ -252,6 +350,7 @@ impl MatchingDecoder {
         scratch.comp_groups.sort_unstable();
 
         scratch.pairing.clear();
+        let mut mask = 0u64;
         let mut g0 = 0usize;
         while g0 < k {
             let root = scratch.comp_groups[g0].0;
@@ -264,6 +363,36 @@ impl MatchingDecoder {
                 scratch.comp_rows.push(scratch.comp_groups[gi].1);
             }
             let rows = std::mem::take(&mut scratch.comp_rows);
+            if let Some(p) = pre {
+                // Short-circuit the two commonest component shapes straight
+                // to the precomputed path masks — no per-shot Dijkstra.
+                if rows.len() == 1 {
+                    // A singleton's only option is its boundary path.
+                    mask ^= p.bnd_mask[defects[rows[0] as usize] as usize];
+                    scratch.comp_rows = rows;
+                    g0 = g1;
+                    continue;
+                }
+                if rows.len() == 2 && self.is_exact_for(2) {
+                    // A pair component exists precisely because pairing beats
+                    // two boundary exits, so the 2-defect exact DP always
+                    // chooses `Pair(rows[0], rows[1])` — whose mask is row 0's
+                    // tree walked from defect 1, i.e. the precomputed pair
+                    // path. (The greedy fallback may still split a pair to
+                    // both boundaries, hence the `is_exact_for` gate.)
+                    let (a, b) = (rows[0] as usize, rows[1] as usize);
+                    mask ^= p.pair_mask[defects[a] as usize * nd + defects[b] as usize];
+                    scratch.comp_rows = rows;
+                    g0 = g1;
+                    continue;
+                }
+                for &r in &rows {
+                    if !scratch.row_done[r as usize] {
+                        self.dijkstra(defects[r as usize], r as usize, targets, scratch);
+                        scratch.row_done[r as usize] = true;
+                    }
+                }
+            }
             if rows.len() <= self.max_exact_defects {
                 exact_pairing(&rows, defects, boundary, n, scratch);
             } else {
@@ -273,7 +402,6 @@ impl MatchingDecoder {
             g0 = g1;
         }
 
-        let mut mask = 0u64;
         for pi in 0..scratch.pairing.len() {
             match scratch.pairing[pi] {
                 Match::Pair(i, j) => {
@@ -597,6 +725,153 @@ mod tests {
         // Every defect exits through its own boundary edge; only defect 0
         // carries the observable.
         assert_eq!(d.predict(&all), 1);
+    }
+
+    /// Irregular weighted graph: chain + skip links + sparse boundary exits,
+    /// probabilities varied deterministically so shortest paths differ per
+    /// node and exercise non-trivial path masks.
+    fn tangle(n: usize) -> DecodingGraph {
+        let p_of = |i: usize| 0.01 + 0.015 * ((i * 7919 % 13) as f64) / 13.0;
+        let mut errors = Vec::new();
+        for i in 0..n - 1 {
+            errors.push(DemError {
+                probability: p_of(i),
+                detectors: vec![i as u32, i as u32 + 1],
+                observables: 1 << (i % 3),
+            });
+        }
+        for i in 0..n - 2 {
+            errors.push(DemError {
+                probability: p_of(i + n),
+                detectors: vec![i as u32, i as u32 + 2],
+                observables: 1 << ((i + 1) % 3),
+            });
+        }
+        for i in (0..n).step_by(3) {
+            errors.push(DemError {
+                probability: p_of(i + 2 * n),
+                detectors: vec![i as u32],
+                observables: u64::from(i % 2 == 0),
+            });
+        }
+        DecodingGraph::from_dem(&DetectorErrorModel {
+            num_detectors: n,
+            num_observables: 3,
+            errors,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn precompute_on_off_bit_identical_on_random_syndromes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for graph in [chain(12, 0.03), tangle(14)] {
+            let nd = graph.num_detectors() as u32;
+            let on = MatchingDecoder::new(graph);
+            assert!(
+                on.precomputed.is_some(),
+                "small graphs precompute by default"
+            );
+            let off = on.clone().with_precompute(false);
+            assert!(off.precomputed.is_none());
+            let mut s_on = MatchScratch::default();
+            let mut s_off = MatchScratch::default();
+            let mut rng = StdRng::seed_from_u64(41);
+            for trial in 0..400 {
+                let syndrome: Vec<u32> = (0..nd).filter(|_| rng.random_bool(0.3)).collect();
+                assert_eq!(
+                    on.decode_into(&syndrome, &mut s_on),
+                    off.decode_into(&syndrome, &mut s_off),
+                    "trial {trial}, syndrome {syndrome:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn precompute_respects_the_greedy_fallback() {
+        // With the exact cap at 0 every component takes the greedy path,
+        // which may split a pair to both boundaries — the pair short-circuit
+        // must stay out of the way so on/off remain bit-identical.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = tangle(14);
+        let on = MatchingDecoder::new(g).with_max_exact_defects(0);
+        let off = on.clone().with_precompute(false);
+        let mut s_on = MatchScratch::default();
+        let mut s_off = MatchScratch::default();
+        let mut rng = StdRng::seed_from_u64(43);
+        for trial in 0..200 {
+            let syndrome: Vec<u32> = (0..14u32).filter(|_| rng.random_bool(0.3)).collect();
+            assert_eq!(
+                on.decode_into(&syndrome, &mut s_on),
+                off.decode_into(&syndrome, &mut s_off),
+                "trial {trial}, syndrome {syndrome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repetition_anchors_pin_failure_counts() {
+        // d = 3 / d = 5 repetition-memory anchors: the precompute must not
+        // move a single Monte-Carlo failure, and the absolute counts are
+        // pinned so any decision drift in matching shows up here.
+        use crate::mc::{self, McConfig};
+        use raa_stabsim::{Circuit, MeasRecord};
+
+        fn repetition(d: usize, rounds: usize, p: f64) -> Circuit {
+            let n_data = d;
+            let n_anc = d - 1;
+            let data: Vec<u32> = (0..n_data as u32).map(|i| 2 * i).collect();
+            let anc: Vec<u32> = (0..n_anc as u32).map(|i| 2 * i + 1).collect();
+            let mut c = Circuit::new();
+            let all: Vec<u32> = (0..(n_data + n_anc) as u32).collect();
+            c.r(&all);
+            for round in 0..rounds {
+                c.x_error(&data, p);
+                let pairs: Vec<(u32, u32)> = (0..n_anc)
+                    .flat_map(|i| [(data[i], anc[i]), (data[i + 1], anc[i])])
+                    .collect();
+                c.cx(&pairs);
+                c.mr(&anc);
+                for i in 0..n_anc {
+                    if round == 0 {
+                        c.detector(&[MeasRecord::back(n_anc - i)]);
+                    } else {
+                        c.detector(&[MeasRecord::back(n_anc - i), MeasRecord::back(2 * n_anc - i)]);
+                    }
+                }
+            }
+            c.m(&data);
+            for i in 0..n_anc {
+                c.detector(&[
+                    MeasRecord::back(n_data - i),
+                    MeasRecord::back(n_data - i - 1),
+                    MeasRecord::back(n_data + n_anc - i),
+                ]);
+            }
+            c.observable_include(0, &[MeasRecord::back(n_data)]);
+            c
+        }
+
+        let cfg = McConfig::single_threaded();
+        for (d, expected) in [(3usize, 121usize), (5usize, 57usize)] {
+            let c = repetition(d, d, 0.08);
+            let dem = DetectorErrorModel::from_circuit(&c);
+            let g = DecodingGraph::from_dem(&dem).unwrap();
+            let on = MatchingDecoder::new(g.clone());
+            assert!(on.precomputed.is_some());
+            let off = MatchingDecoder::new(g).with_precompute(false);
+            let s_on = mc::logical_error_rate_seeded(&c, &on, 2_000, 11, &cfg).unwrap();
+            let s_off = mc::logical_error_rate_seeded(&c, &off, 2_000, 11, &cfg).unwrap();
+            assert_eq!(s_on.shots, 2_000);
+            assert_eq!(
+                s_on.failures, s_off.failures,
+                "precompute moved failures at d={d}"
+            );
+            assert_eq!(s_on.failures, expected, "anchor drifted at d={d}");
+        }
     }
 
     #[test]

@@ -35,7 +35,41 @@ use raa_stabsim::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Why a Monte-Carlo estimate could not run.
+///
+/// The estimators themselves are deterministic data processing — the only
+/// fallible setup step is building the worker thread pool when the caller
+/// pins an explicit thread count. Surfacing that as a typed error (instead
+/// of the panic it used to be) lets long-running services (`raa-sweepd`)
+/// fail the one job with the bad configuration rather than losing the
+/// worker process.
+#[derive(Debug)]
+pub enum McError {
+    /// Building the per-call decode thread pool failed (bad or unsupported
+    /// thread-count configuration, or thread spawn failure).
+    PoolBuild {
+        /// The requested worker thread count.
+        requested: usize,
+        /// The pool builder's error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::PoolBuild { requested, detail } => write!(
+                f,
+                "building the decode thread pool ({requested} threads) failed: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for McError {}
 
 /// A source of decoder-ready samples for the Monte-Carlo pipeline.
 ///
@@ -60,6 +94,24 @@ pub trait Sampler: Sync {
         syndromes: &mut SyndromeBatch,
         obs_masks: &mut Vec<u64>,
     );
+
+    /// The sample→decode fusion block size, or `None` to opt out.
+    ///
+    /// Returning `Some(block)` asserts a strong determinism property: for
+    /// any shot count and any RNG state, sampling `n` shots in consecutive
+    /// chunks of at most `block` shots through the *same* RNG produces
+    /// exactly the bits that one `sample_into(n, ...)` call would. The
+    /// Monte-Carlo batch loop then interleaves sampling and decoding per
+    /// chunk — syndromes are decoded while still cache-resident instead of
+    /// being materialized for the whole batch — without changing a single
+    /// sampled bit or decode decision.
+    ///
+    /// The default declines: samplers with whole-batch RNG structure (the
+    /// gate-level frame simulation, the streaming sampler's one base draw
+    /// per batch) must not be chunked.
+    fn fusion_block(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Samples by re-simulating the circuit through [`FrameSim`] — the
@@ -118,6 +170,14 @@ impl Sampler for DemSampler {
     ) {
         self.sample_syndromes_into(shots, rng, syndromes, obs_masks);
     }
+
+    /// The compiled sampler walks the trial space in fixed
+    /// [`DemSampler::SAMPLE_BLOCK`]-shot blocks whose RNG consumption does
+    /// not depend on the block's position in the batch, so chunked sampling
+    /// is bit-identical to whole-batch sampling and fusion is sound.
+    fn fusion_block(&self) -> Option<usize> {
+        Some(DemSampler::SAMPLE_BLOCK)
+    }
 }
 
 /// The time-sliced sampler as a whole-batch [`Sampler`]: materializes every
@@ -146,6 +206,14 @@ impl Sampler for StreamingDemSampler {
             syndromes,
             obs_masks,
         );
+    }
+
+    /// Fusion must stay off: each `sample_into` call draws **one** base
+    /// seed for the whole batch, so splitting a batch into chunks would
+    /// draw different per-layer streams and break the bit-identity with
+    /// [`logical_error_rate_streamed`].
+    fn fusion_block(&self) -> Option<usize> {
+        None
     }
 }
 
@@ -273,7 +341,7 @@ struct Worker<S: Sampler, D: Decoder> {
     scratch: D::Scratch,
     syndromes: SyndromeBatch,
     obs_masks: Vec<u64>,
-    defects: Vec<u32>,
+    predicted: Vec<u64>,
 }
 
 impl<S: Sampler, D: Decoder> Worker<S, D> {
@@ -283,11 +351,19 @@ impl<S: Sampler, D: Decoder> Worker<S, D> {
             scratch: D::Scratch::default(),
             syndromes: SyndromeBatch::default(),
             obs_masks: Vec::new(),
-            defects: Vec::new(),
+            predicted: Vec::new(),
         }
     }
 
     /// Samples and decodes one batch of shots.
+    ///
+    /// When the sampler advertises a [`Sampler::fusion_block`], the batch
+    /// is processed in consecutive chunks of at most that many shots —
+    /// sample a chunk, decode it while its syndrome words are still
+    /// cache-resident, repeat. The sampler's fusion contract plus the
+    /// [`Decoder::predict_batch_into`] contract make the chunked run
+    /// bit-identical to materialize-then-decode, so `DecodeStats` do not
+    /// depend on whether fusion kicked in.
     fn decode_batch(
         &mut self,
         sampler: &S,
@@ -295,22 +371,29 @@ impl<S: Sampler, D: Decoder> Worker<S, D> {
         shots: usize,
         rng: &mut StdRng,
     ) -> DecodeStats {
-        sampler.sample_into(
-            shots,
-            rng,
-            &mut self.sampler_scratch,
-            &mut self.syndromes,
-            &mut self.obs_masks,
-        );
+        let chunk = match sampler.fusion_block() {
+            Some(block) => block.min(shots).max(1),
+            None => shots,
+        };
         let mut stats = DecodeStats::default();
-        for s in 0..shots {
-            self.syndromes.fired_into(s, &mut self.defects);
-            let predicted = decoder.predict_into(&self.defects, &mut self.scratch);
-            let actual = self.obs_masks[s];
-            stats.shots += 1;
-            if predicted != actual {
-                stats.failures += 1;
+        let mut done = 0usize;
+        while done < shots {
+            let len = chunk.min(shots - done);
+            sampler.sample_into(
+                len,
+                rng,
+                &mut self.sampler_scratch,
+                &mut self.syndromes,
+                &mut self.obs_masks,
+            );
+            decoder.predict_batch_into(&self.syndromes, &mut self.predicted, &mut self.scratch);
+            for s in 0..len {
+                stats.shots += 1;
+                if self.predicted[s] != self.obs_masks[s] {
+                    stats.failures += 1;
+                }
             }
+            done += len;
         }
         stats
     }
@@ -325,19 +408,24 @@ fn batch_len(shots: usize, batch: usize, index: usize) -> usize {
 /// Runs `f` on the ambient rayon pool (`threads == 0`) or on an explicitly
 /// sized pool. Building a pool per call is only paid when the caller pins a
 /// thread count — with real rayon that spawns OS threads, which would
-/// otherwise dominate small estimates issued in a loop.
-fn run_on_pool<T>(threads: usize, f: impl FnOnce() -> T + Send) -> T
+/// otherwise dominate small estimates issued in a loop. A pool-build
+/// failure is returned as [`McError::PoolBuild`] instead of panicking, so
+/// a bad thread-count configuration fails one estimate, not the process.
+fn run_on_pool<T>(threads: usize, f: impl FnOnce() -> T + Send) -> Result<T, McError>
 where
     T: Send,
 {
     if threads == 0 {
-        f()
+        Ok(f())
     } else {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
-            .expect("building the decode thread pool");
-        pool.install(f)
+            .map_err(|e| McError::PoolBuild {
+                requested: threads,
+                detail: e.to_string(),
+            })?;
+        Ok(pool.install(f))
     }
 }
 
@@ -351,13 +439,18 @@ where
 /// is sharded into batches decoded in parallel; for a given seed and
 /// sampler the result is identical for any `cfg.threads` (see
 /// [`SeedPolicy`]).
+///
+/// # Errors
+///
+/// Returns [`McError::PoolBuild`] if `cfg.threads > 0` and the worker pool
+/// cannot be built.
 pub fn logical_error_rate_sampled<S: Sampler, D: Decoder + Sync>(
     sampler: &S,
     decoder: &D,
     shots: usize,
     seed: u64,
     cfg: &McConfig,
-) -> DecodeStats {
+) -> Result<DecodeStats, McError> {
     run_batches(shots, seed, cfg, Worker::<S, D>::new, |worker, len, rng| {
         worker.decode_batch(sampler, decoder, len, rng)
     })
@@ -375,10 +468,10 @@ fn run_batches<W: Send>(
     cfg: &McConfig,
     new_worker: impl Fn() -> W + Send + Sync,
     decode_batch: impl Fn(&mut W, usize, &mut StdRng) -> DecodeStats + Send + Sync,
-) -> DecodeStats {
+) -> Result<DecodeStats, McError> {
     assert!(cfg.batch > 0, "batch size must be positive");
     if shots == 0 {
-        return DecodeStats::default();
+        return Ok(DecodeStats::default());
     }
     let num_batches = shots.div_ceil(cfg.batch);
 
@@ -390,7 +483,7 @@ fn run_batches<W: Send>(
             let len = batch_len(shots, cfg.batch, b);
             stats.merge(decode_batch(&mut worker, len, &mut rng));
         }
-        return stats;
+        return Ok(stats);
     }
 
     let per_batch: Vec<DecodeStats> = run_on_pool(cfg.threads, || {
@@ -401,23 +494,28 @@ fn run_batches<W: Send>(
                 decode_batch(worker, batch_len(shots, cfg.batch, b), &mut rng)
             })
             .collect()
-    });
+    })?;
     let mut stats = DecodeStats::default();
     for s in per_batch {
         stats.merge(s);
     }
-    stats
+    Ok(stats)
 }
 
 /// [`logical_error_rate_sampled`] with a [`CircuitSampler`] over `circuit`
 /// (the historical gate-level entry point).
+///
+/// # Errors
+///
+/// Returns [`McError::PoolBuild`] if `cfg.threads > 0` and the worker pool
+/// cannot be built.
 pub fn logical_error_rate_seeded<D: Decoder + Sync>(
     circuit: &Circuit,
     decoder: &D,
     shots: usize,
     seed: u64,
     cfg: &McConfig,
-) -> DecodeStats {
+) -> Result<DecodeStats, McError> {
     logical_error_rate_sampled(&CircuitSampler::new(circuit), decoder, shots, seed, cfg)
 }
 
@@ -432,6 +530,11 @@ pub fn logical_error_rate_seeded<D: Decoder + Sync>(
 /// *launching* batches soon after the target is reached; any speculative
 /// batches beyond `B` are discarded, keeping the result independent of
 /// thread count and timing.
+///
+/// # Errors
+///
+/// Returns [`McError::PoolBuild`] if `cfg.threads > 0` and the worker pool
+/// cannot be built.
 pub fn logical_error_rate_until_sampled<S: Sampler, D: Decoder + Sync>(
     sampler: &S,
     decoder: &D,
@@ -439,7 +542,7 @@ pub fn logical_error_rate_until_sampled<S: Sampler, D: Decoder + Sync>(
     target_failures: usize,
     seed: u64,
     cfg: &McConfig,
-) -> DecodeStats {
+) -> Result<DecodeStats, McError> {
     run_batches_until(
         max_shots,
         target_failures,
@@ -461,10 +564,10 @@ fn run_batches_until<W: Send>(
     cfg: &McConfig,
     new_worker: impl Fn() -> W + Send + Sync,
     decode_batch: impl Fn(&mut W, usize, &mut StdRng) -> DecodeStats + Send + Sync,
-) -> DecodeStats {
+) -> Result<DecodeStats, McError> {
     assert!(cfg.batch > 0, "batch size must be positive");
     if max_shots == 0 {
-        return DecodeStats::default();
+        return Ok(DecodeStats::default());
     }
     let num_batches = max_shots.div_ceil(cfg.batch);
 
@@ -479,7 +582,7 @@ fn run_batches_until<W: Send>(
                 break;
             }
         }
-        return stats;
+        return Ok(stats);
     }
 
     let mut stats = DecodeStats::default();
@@ -511,24 +614,29 @@ fn run_batches_until<W: Send>(
                     Some(batch_stats)
                 })
                 .collect()
-        });
+        })?;
         for r in results {
             let Some(batch_stats) = r else { break };
             next += 1;
             stats.merge(batch_stats);
             if stats.failures >= target_failures {
-                return stats;
+                return Ok(stats);
             }
         }
         // Round ended without reaching the target inside the completed
         // prefix: loop to decode the remaining batches (the first skipped
         // batch always completes next round because the budget resets).
     }
-    stats
+    Ok(stats)
 }
 
 /// [`logical_error_rate_until_sampled`] with a [`CircuitSampler`] over
 /// `circuit` (the historical gate-level entry point).
+///
+/// # Errors
+///
+/// Returns [`McError::PoolBuild`] if `cfg.threads > 0` and the worker pool
+/// cannot be built.
 pub fn logical_error_rate_until_seeded<D: Decoder + Sync>(
     circuit: &Circuit,
     decoder: &D,
@@ -536,7 +644,7 @@ pub fn logical_error_rate_until_seeded<D: Decoder + Sync>(
     target_failures: usize,
     seed: u64,
     cfg: &McConfig,
-) -> DecodeStats {
+) -> Result<DecodeStats, McError> {
     logical_error_rate_until_sampled(
         &CircuitSampler::new(circuit),
         decoder,
@@ -662,6 +770,11 @@ fn check_stream_compat<L: LayerAssignment>(
 ///
 /// Panics if sampler and decoder disagree on the layered model shape.
 ///
+/// # Errors
+///
+/// Returns [`McError::PoolBuild`] if `cfg.threads > 0` and the worker pool
+/// cannot be built.
+///
 /// # Example
 ///
 /// ```
@@ -682,7 +795,8 @@ fn check_stream_compat<L: LayerAssignment>(
 /// let sampler = StreamingDemSampler::new(&dem, 1);
 /// let (graph, _) = DecodingGraph::from_dem_decomposed(&dem);
 /// let decoder = WindowedDecoder::new(graph, UniformLayers { detectors_per_layer: 1 }, 1, 1);
-/// let stats = mc::logical_error_rate_streamed(&sampler, &decoder, 2_000, 7, &McConfig::default());
+/// let stats = mc::logical_error_rate_streamed(&sampler, &decoder, 2_000, 7, &McConfig::default())
+///     .expect("the default McConfig uses the ambient pool");
 /// assert_eq!(stats.shots, 2_000);
 /// ```
 pub fn logical_error_rate_streamed<L: LayerAssignment + Sync>(
@@ -691,7 +805,7 @@ pub fn logical_error_rate_streamed<L: LayerAssignment + Sync>(
     shots: usize,
     seed: u64,
     cfg: &McConfig,
-) -> DecodeStats {
+) -> Result<DecodeStats, McError> {
     check_stream_compat(sampler, decoder);
     run_batches(shots, seed, cfg, StreamWorker::new, |worker, len, rng| {
         worker.decode_batch(sampler, decoder, len, rng)
@@ -701,6 +815,11 @@ pub fn logical_error_rate_streamed<L: LayerAssignment + Sync>(
 /// Like [`logical_error_rate_streamed`], but stops early once
 /// `target_failures` failures have been seen — the same deterministic
 /// batch-prefix contract as [`logical_error_rate_until_sampled`].
+///
+/// # Errors
+///
+/// Returns [`McError::PoolBuild`] if `cfg.threads > 0` and the worker pool
+/// cannot be built.
 pub fn logical_error_rate_until_streamed<L: LayerAssignment + Sync>(
     sampler: &StreamingDemSampler,
     decoder: &WindowedDecoder<L>,
@@ -708,7 +827,7 @@ pub fn logical_error_rate_until_streamed<L: LayerAssignment + Sync>(
     target_failures: usize,
     seed: u64,
     cfg: &McConfig,
-) -> DecodeStats {
+) -> Result<DecodeStats, McError> {
     check_stream_compat(sampler, decoder);
     run_batches_until(
         max_shots,
@@ -759,6 +878,7 @@ pub fn logical_error_rate<D: Decoder + Sync, R: Rng>(
 ) -> DecodeStats {
     let seed = rng.random::<u64>();
     logical_error_rate_seeded(circuit, decoder, shots, seed, &McConfig::default())
+        .expect("the default McConfig uses the ambient pool and cannot fail")
 }
 
 /// Like [`logical_error_rate`], but stops early once `target_failures`
@@ -780,6 +900,7 @@ pub fn logical_error_rate_until<D: Decoder + Sync, R: Rng>(
         seed,
         &McConfig::default(),
     )
+    .expect("the default McConfig uses the ambient pool and cannot fail")
 }
 
 #[cfg(test)]
@@ -898,7 +1019,8 @@ mod tests {
         let d = uf(&c);
         let seed = 0xC0FFEE;
         let base =
-            logical_error_rate_seeded(&c, &d, 10_000, seed, &McConfig::default().with_threads(1));
+            logical_error_rate_seeded(&c, &d, 10_000, seed, &McConfig::default().with_threads(1))
+                .unwrap();
         for threads in [2usize, 4, 8] {
             let multi = logical_error_rate_seeded(
                 &c,
@@ -906,7 +1028,8 @@ mod tests {
                 10_000,
                 seed,
                 &McConfig::default().with_threads(threads),
-            );
+            )
+            .unwrap();
             assert_eq!(base, multi, "threads = {threads}");
         }
         assert_eq!(base.shots, 10_000);
@@ -925,7 +1048,8 @@ mod tests {
             25,
             seed,
             &McConfig::default().with_threads(1),
-        );
+        )
+        .unwrap();
         for threads in [3usize, 7] {
             let multi = logical_error_rate_until_seeded(
                 &c,
@@ -934,7 +1058,8 @@ mod tests {
                 25,
                 seed,
                 &McConfig::default().with_threads(threads),
-            );
+            )
+            .unwrap();
             assert_eq!(base, multi, "threads = {threads}");
         }
         assert!(base.failures >= 25);
@@ -946,7 +1071,7 @@ mod tests {
         let c = repetition(3, 2, 0.1);
         let d = uf(&c);
         let cfg = McConfig::default().with_threads(4);
-        let stats = logical_error_rate_until_seeded(&c, &d, 100_000, 0, 1, &cfg);
+        let stats = logical_error_rate_until_seeded(&c, &d, 100_000, 0, 1, &cfg).unwrap();
         assert_eq!(stats.shots, cfg.batch);
     }
 
@@ -961,7 +1086,8 @@ mod tests {
                 1_000,
                 42,
                 &McConfig::default().with_batch(batch),
-            );
+            )
+            .unwrap();
             assert_eq!(stats.shots, 1_000, "batch = {batch}");
         }
     }
@@ -982,8 +1108,8 @@ mod tests {
             threads: 8,
             ..McConfig::default()
         };
-        let a = logical_error_rate_seeded(&c, &d, 5_000, 7, &cfg_a);
-        let b = logical_error_rate_seeded(&c, &d, 5_000, 7, &cfg_b);
+        let a = logical_error_rate_seeded(&c, &d, 5_000, 7, &cfg_a).unwrap();
+        let b = logical_error_rate_seeded(&c, &d, 5_000, 7, &cfg_b).unwrap();
         assert_eq!(a, b);
     }
 
@@ -1002,9 +1128,11 @@ mod tests {
         let cfg = McConfig::default();
         let circuit_rate =
             logical_error_rate_sampled(&CircuitSampler::new(&c), &d, shots, 11, &cfg)
+                .unwrap()
                 .logical_error_rate();
-        let dem_rate =
-            logical_error_rate_sampled(&dem_sampler, &d, shots, 11, &cfg).logical_error_rate();
+        let dem_rate = logical_error_rate_sampled(&dem_sampler, &d, shots, 11, &cfg)
+            .unwrap()
+            .logical_error_rate();
         assert!(
             (circuit_rate - dem_rate).abs() < 0.004,
             "circuit {circuit_rate} vs dem {dem_rate}"
@@ -1024,7 +1152,8 @@ mod tests {
             10_000,
             seed,
             &McConfig::default().with_threads(1),
-        );
+        )
+        .unwrap();
         for threads in [2usize, 4, 8] {
             let multi = logical_error_rate_sampled(
                 &sampler,
@@ -1032,7 +1161,8 @@ mod tests {
                 10_000,
                 seed,
                 &McConfig::default().with_threads(threads),
-            );
+            )
+            .unwrap();
             assert_eq!(base, multi, "threads = {threads}");
         }
         assert!(base.failures > 0, "p = 5% should produce failures");
@@ -1050,7 +1180,8 @@ mod tests {
             10,
             5,
             &McConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(stats.failures >= 10);
         assert!(stats.shots < 1_000_000);
     }
@@ -1086,8 +1217,10 @@ mod tests {
         let seed = 0x57AE;
         for batch in [64usize, 256, 1000] {
             let cfg = McConfig::default().with_batch(batch);
-            let batch_stats = logical_error_rate_sampled(&sampler, &decoder, 3_000, seed, &cfg);
-            let streamed = logical_error_rate_streamed(&sampler, &decoder, 3_000, seed, &cfg);
+            let batch_stats =
+                logical_error_rate_sampled(&sampler, &decoder, 3_000, seed, &cfg).unwrap();
+            let streamed =
+                logical_error_rate_streamed(&sampler, &decoder, 3_000, seed, &cfg).unwrap();
             assert_eq!(batch_stats, streamed, "batch = {batch}");
             assert!(streamed.failures > 0, "p = 6% must fail sometimes");
         }
@@ -1106,7 +1239,8 @@ mod tests {
             6_000,
             seed,
             &McConfig::default().with_threads(1),
-        );
+        )
+        .unwrap();
         for threads in [2usize, 8] {
             let multi = logical_error_rate_streamed(
                 &sampler,
@@ -1114,7 +1248,8 @@ mod tests {
                 6_000,
                 seed,
                 &McConfig::default().with_threads(threads),
-            );
+            )
+            .unwrap();
             assert_eq!(base, multi, "threads = {threads}");
         }
         assert!(base.failures > 0);
@@ -1128,8 +1263,9 @@ mod tests {
         let decoder = windowed(&c, 2, 2, 2);
         let cfg = McConfig::default();
         let batch_stats =
-            logical_error_rate_until_sampled(&sampler, &decoder, 500_000, 20, 3, &cfg);
-        let streamed = logical_error_rate_until_streamed(&sampler, &decoder, 500_000, 20, 3, &cfg);
+            logical_error_rate_until_sampled(&sampler, &decoder, 500_000, 20, 3, &cfg).unwrap();
+        let streamed =
+            logical_error_rate_until_streamed(&sampler, &decoder, 500_000, 20, 3, &cfg).unwrap();
         assert_eq!(batch_stats, streamed);
         assert!(streamed.failures >= 20);
         assert!(streamed.shots < 500_000);
@@ -1144,7 +1280,63 @@ mod tests {
         // Decoder built over a different circuit: detector counts disagree.
         let c2 = repetition(3, 10, 0.1);
         let decoder = windowed(&c2, 2, 2, 2);
-        logical_error_rate_streamed(&sampler, &decoder, 100, 1, &McConfig::default());
+        logical_error_rate_streamed(&sampler, &decoder, 100, 1, &McConfig::default()).unwrap();
+    }
+
+    /// The same compiled sampler with fusion declined: forces the
+    /// materialize-then-decode reference path on identical RNG streams.
+    struct NoFusion<'a>(&'a raa_stabsim::DemSampler);
+
+    impl Sampler for NoFusion<'_> {
+        type Scratch = ();
+
+        fn sample_into(
+            &self,
+            shots: usize,
+            rng: &mut StdRng,
+            _scratch: &mut (),
+            syndromes: &mut SyndromeBatch,
+            obs_masks: &mut Vec<u64>,
+        ) {
+            self.0
+                .sample_syndromes_into(shots, rng, syndromes, obs_masks);
+        }
+    }
+
+    #[test]
+    fn fused_dem_decode_matches_whole_batch_bit_for_bit() {
+        // The fusion contract: chunking a batch into SAMPLE_BLOCK-shot
+        // sample→decode blocks must not change a single sampled bit or
+        // decode decision. Batches both below and above the block size are
+        // compared against the unfused reference on the same seed.
+        let c = repetition(5, 4, 0.05);
+        let d = uf(&c);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let sampler = raa_stabsim::DemSampler::new(&dem);
+        assert_eq!(
+            sampler.fusion_block(),
+            Some(raa_stabsim::DemSampler::SAMPLE_BLOCK)
+        );
+        for batch in [256usize, 512, 1000, 4096] {
+            let cfg = McConfig::single_threaded().with_batch(batch);
+            let fused = logical_error_rate_sampled(&sampler, &d, 8_192, 9, &cfg).unwrap();
+            let reference =
+                logical_error_rate_sampled(&NoFusion(&sampler), &d, 8_192, 9, &cfg).unwrap();
+            assert_eq!(fused, reference, "batch = {batch}");
+            assert_eq!(fused.shots, 8_192);
+        }
+    }
+
+    #[test]
+    fn pool_build_error_is_typed_and_printable() {
+        let e = McError::PoolBuild {
+            requested: 7,
+            detail: "nope".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("decode thread pool"));
+        assert!(text.contains('7'));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -11,12 +11,29 @@
 //! Growth is frontier-driven: each odd cluster carries the list of edges on
 //! its boundary and only those edges are visited per growth round, so the
 //! cost of a decode scales with the grown region rather than with the whole
-//! graph. All working state lives in a reusable [`UfScratch`], making the
-//! steady-state decode loop allocation-free.
+//! graph. Two further mechanisms make the batched Monte-Carlo hot path cheap:
+//!
+//! - **Compiled graph.** The decoder walks a [`CompiledGraph`] — CSR
+//!   adjacency in one flat arena with pre-quantized integer weights — built
+//!   once at construction and shared read-only by every worker, instead of
+//!   chasing per-detector `Vec`s on each decode.
+//! - **Epoch-tagged scratch.** [`UfScratch`] stamps every node/edge/frontier
+//!   slot with the epoch that last wrote it and lazily reinitializes a slot
+//!   on first touch per decode, so resetting between shots costs O(touched)
+//!   rather than O(nodes + edges). Weighted growth additionally jumps over
+//!   growth rounds in which no edge can reach its weight (the per-round
+//!   increments are computed in closed form), which matters for heavy edges
+//!   quantized to many growth quanta.
+//!
+//! Both mechanisms are exact: the decision stream (solidification order,
+//! merge order, peel order) is bit-identical to the literal one-quantum-per-
+//! round formulation.
 
-use crate::graph::DecodingGraph;
+use crate::graph::{CompiledGraph, DecodingGraph, GraphError};
 use crate::Decoder;
-use std::collections::VecDeque;
+use raa_stabsim::SyndromeBatch;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{PoisonError, RwLock};
 
 /// Outcome of a union–find decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,10 +45,40 @@ pub struct UnionFindOutcome {
     pub converged: bool,
 }
 
-/// Maximum quantized weight; growth iterations scale with this.
-const WEIGHT_QUANTA: f64 = 32.0;
-
 const NONE: u32 = u32::MAX;
+
+/// Syndromes longer than this skip the decomposition fast path outright.
+const MEMO_MAX_DEFECTS: usize = 32;
+/// Components larger than this are not memoized (their keys essentially
+/// never recur); the whole syndrome falls back to the full decode.
+const MEMO_MAX_COMPONENT: usize = 12;
+/// Memo flush threshold — a backstop against adversarial syndrome streams,
+/// far above what the Monte-Carlo workloads produce.
+const MEMO_MAX_ENTRIES: usize = 1 << 14;
+
+/// A memoized standalone decode of one defect component: its outcome, its
+/// correction edges, and its *reach* — every edge that ever entered a
+/// frontier list during the decode. Two components whose reaches are
+/// disjoint cannot interact in a joint decode, so their results compose by
+/// XOR (see [`UnionFindDecoder::decode_into`]).
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    observables: u64,
+    converged: bool,
+    correction: Box<[u32]>,
+    mask: Box<[u64]>,
+}
+
+/// Result of composing a syndrome from memoized components.
+enum Compose {
+    /// All components hit the memo and their reaches are disjoint.
+    Done(UnionFindOutcome),
+    /// The two components' reaches share an edge: they must be coarsened
+    /// into one piece (they may interact in the joint decode).
+    Overlap(usize, usize),
+    /// The component at this piece index is not memoized yet.
+    Missing(usize),
+}
 
 /// Reusable working state for [`UnionFindDecoder`].
 ///
@@ -39,8 +86,20 @@ const NONE: u32 = u32::MAX;
 /// to the decoder's graph and later decodes reuse the capacity. One scratch
 /// serves one decoder at a time (sizes adapt automatically if reused across
 /// decoders of different shapes).
+///
+/// Per-node and per-edge state is epoch-tagged: each decode bumps a
+/// generation counter and slots are lazily reinitialized on first touch, so
+/// the inter-shot reset is O(1) plus the handful of explicit list clears —
+/// the batched Monte-Carlo path never pays an O(graph) wipe for a sparse
+/// syndrome.
 #[derive(Debug, Clone, Default)]
 pub struct UfScratch {
+    /// Current decode generation; `*_epoch` slots not equal to this are
+    /// stale and reinitialized on first touch.
+    epoch: u32,
+    node_epoch: Vec<u32>,
+    edge_epoch: Vec<u32>,
+    frontier_epoch: Vec<u32>,
     // Union-find forest over detector nodes + virtual boundary node.
     parent: Vec<u32>,
     rank: Vec<u8>,
@@ -54,6 +113,14 @@ pub struct UfScratch {
     growth: Vec<u32>,
     /// Per-edge solid flag.
     solid: Vec<bool>,
+    /// Per-edge visit count of the current growth round (round-jump pass).
+    pending: Vec<u32>,
+    /// Edges visited by the current growth round (clears `pending`).
+    round_edges: Vec<u32>,
+    /// The current round's live frontier visits, in scan order (an edge
+    /// appears once per active endpoint). Recorded by the counting pass so
+    /// the literal unit round can replay it without re-resolving clusters.
+    visit_edges: Vec<u32>,
     /// Solidified edge indices, in solidification order (drives peeling).
     solid_edges: Vec<u32>,
     /// Per-node: whether the node's incident edges were already added to a
@@ -77,47 +144,120 @@ pub struct UfScratch {
     adj_edge: Vec<u32>,
     /// Edge indices of the last decode's correction, in peel order.
     correction: Vec<u32>,
+    /// Defect-extraction buffer for the batched decode path.
+    defects_buf: Vec<u32>,
+    // Decomposition fast-path state.
+    /// Edges that ever entered a frontier list this epoch — the decode's
+    /// reach, recorded so a component sub-decode can be checked for
+    /// disjointness against its siblings.
+    edge_mask: Vec<u64>,
+    /// Nested scratch driving memo-miss component sub-decodes.
+    sub: Option<Box<UfScratch>>,
+    /// Tiny union–find over defect list indices for component grouping.
+    group_parent: Vec<u32>,
+    /// Concatenated canonical (sorted) per-component defect keys.
+    key_buf: Vec<u32>,
+    /// `(start, len)` ranges of `key_buf`, one per component.
+    piece_ranges: Vec<(u32, u32)>,
+    /// Accumulated reach of already-accepted components.
+    acc_mask: Vec<u64>,
 }
 
 impl UfScratch {
-    /// Resets and (re)sizes the scratch for a graph with `num_nodes` nodes
-    /// (detectors + boundary) and `num_edges` edges.
-    fn reset(&mut self, num_nodes: usize, num_edges: usize) {
-        self.parent.clear();
-        self.parent.extend(0..num_nodes as u32);
-        self.rank.clear();
-        self.rank.resize(num_nodes, 0);
-        self.parity.clear();
-        self.parity.resize(num_nodes, false);
-        self.boundary.clear();
-        self.boundary.resize(num_nodes, false);
-        if self.frontier.len() < num_nodes {
+    /// Opens a new decode epoch for a graph with `num_nodes` nodes
+    /// (detectors + boundary) and `num_edges` edges. Stale per-slot state is
+    /// reinitialized lazily by the `touch_*` methods; only the compact lists
+    /// are cleared eagerly.
+    fn begin(&mut self, num_nodes: usize, num_edges: usize) {
+        if self.epoch == u32::MAX {
+            // Epoch counter wrap: restamp everything as stale once.
+            self.node_epoch.iter_mut().for_each(|e| *e = 0);
+            self.edge_epoch.iter_mut().for_each(|e| *e = 0);
+            self.frontier_epoch.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.node_epoch.len() < num_nodes {
+            self.node_epoch.resize(num_nodes, 0);
+            self.parent.resize(num_nodes, 0);
+            self.rank.resize(num_nodes, 0);
+            self.parity.resize(num_nodes, false);
+            self.boundary.resize(num_nodes, false);
+            self.seeded.resize(num_nodes, false);
+            self.defect.resize(num_nodes, false);
+            self.visited.resize(num_nodes, false);
+            self.adj_head.resize(num_nodes, NONE);
+        }
+        if self.frontier_epoch.len() < num_nodes {
+            self.frontier_epoch.resize(num_nodes, 0);
             self.frontier.resize_with(num_nodes, Vec::new);
         }
-        for f in &mut self.frontier[..num_nodes] {
-            f.clear();
+        if self.edge_epoch.len() < num_edges {
+            self.edge_epoch.resize(num_edges, 0);
+            self.growth.resize(num_edges, 0);
+            self.solid.resize(num_edges, false);
+            self.pending.resize(num_edges, 0);
         }
-        self.seeded.clear();
-        self.seeded.resize(num_nodes, false);
-        self.growth.clear();
-        self.growth.resize(num_edges, 0);
-        self.solid.clear();
-        self.solid.resize(num_edges, false);
+        self.round_edges.clear();
+        self.visit_edges.clear();
         self.solid_edges.clear();
         self.active.clear();
         self.next_active.clear();
         self.to_merge.clear();
-        self.defect.clear();
-        self.defect.resize(num_nodes, false);
-        self.visited.clear();
-        self.visited.resize(num_nodes, false);
         self.order.clear();
         self.queue.clear();
-        self.adj_head.clear();
-        self.adj_head.resize(num_nodes, NONE);
         self.adj_next.clear();
         self.adj_edge.clear();
         self.correction.clear();
+        self.edge_mask.clear();
+        self.edge_mask.resize(num_edges.div_ceil(64).max(1), 0);
+    }
+
+    /// Records edges entering a frontier list (the decode's reach).
+    #[inline]
+    fn mark_edges(&mut self, edges: &[u32]) {
+        for &ei in edges {
+            self.edge_mask[(ei >> 6) as usize] |= 1 << (ei & 63);
+        }
+    }
+
+    /// Reinitializes node `x`'s slots if they are stale.
+    #[inline]
+    fn touch_node(&mut self, x: u32) {
+        let xi = x as usize;
+        if self.node_epoch[xi] != self.epoch {
+            self.node_epoch[xi] = self.epoch;
+            self.parent[xi] = x;
+            self.rank[xi] = 0;
+            self.parity[xi] = false;
+            self.boundary[xi] = false;
+            self.seeded[xi] = false;
+            self.defect[xi] = false;
+            self.visited[xi] = false;
+            self.adj_head[xi] = NONE;
+        }
+    }
+
+    /// Reinitializes edge `e`'s slots if they are stale.
+    #[inline]
+    fn touch_edge(&mut self, e: u32) {
+        let ei = e as usize;
+        if self.edge_epoch[ei] != self.epoch {
+            self.edge_epoch[ei] = self.epoch;
+            self.growth[ei] = 0;
+            self.solid[ei] = false;
+            self.pending[ei] = 0;
+        }
+    }
+
+    /// Clears root `r`'s frontier list if it is stale.
+    #[inline]
+    fn touch_frontier(&mut self, r: u32) {
+        let ri = r as usize;
+        if self.frontier_epoch[ri] != self.epoch {
+            self.frontier_epoch[ri] = self.epoch;
+            self.frontier[ri].clear();
+        }
     }
 
     /// The correction of the last decode through this scratch: the graph
@@ -129,7 +269,11 @@ impl UfScratch {
         &self.correction
     }
 
-    fn find(&mut self, mut x: u32) -> u32 {
+    fn find(&mut self, x: u32) -> u32 {
+        // Nodes on a parent chain were all touched when they were unioned,
+        // so only the entry point needs the staleness check.
+        self.touch_node(x);
+        let mut x = x;
         while self.parent[x as usize] != x {
             let gp = self.parent[self.parent[x as usize] as usize];
             self.parent[x as usize] = gp;
@@ -160,6 +304,8 @@ impl UfScratch {
         self.boundary[big as usize] = boundary;
         // Merge frontier lists small-into-big without allocating: swap the
         // shorter one out, drain it into the longer.
+        self.touch_frontier(big);
+        self.touch_frontier(small);
         let (bi, si) = (big as usize, small as usize);
         if self.frontier[bi].len() < self.frontier[si].len() {
             self.frontier.swap(bi, si);
@@ -179,6 +325,12 @@ impl UfScratch {
 }
 
 /// Weighted union–find decoder over a [`DecodingGraph`].
+///
+/// At construction the graph is compiled into a [`CompiledGraph`] (flat CSR
+/// adjacency, quantized integer weights) that the decode loop walks; the
+/// original graph stays available through [`UnionFindDecoder::graph`] for
+/// callers that need edge endpoints or observables in floating-point form
+/// (e.g. the windowed decoder's commit-boundary split).
 ///
 /// # Example
 ///
@@ -203,34 +355,105 @@ impl UfScratch {
 /// let prediction = decoder.predict(&[0]);
 /// assert_eq!(prediction, 1); // flips the logical observable on qubit 0
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct UnionFindDecoder {
     graph: DecodingGraph,
-    /// Integer-quantized edge weights (≥ 1).
-    int_weights: Vec<u32>,
+    compiled: CompiledGraph,
+    /// Flattened per-detector adjacency bitsets (detectors sharing an edge),
+    /// driving the fast path's component grouping.
+    near: Vec<u64>,
+    /// Words per `near` row.
+    near_words: usize,
+    /// Memoized standalone component decodes, shared read-mostly by every
+    /// worker thread. Hits and misses produce identical results, so the
+    /// memo affects throughput only — never outcomes or determinism.
+    memo: RwLock<HashMap<Box<[u32]>, MemoEntry>>,
+    /// Whether the memoized component decomposition fast path is enabled.
+    memo_enabled: bool,
+}
+
+impl Clone for UnionFindDecoder {
+    fn clone(&self) -> Self {
+        Self {
+            graph: self.graph.clone(),
+            compiled: self.compiled.clone(),
+            near: self.near.clone(),
+            near_words: self.near_words,
+            memo: RwLock::new(self.read_memo().clone()),
+            memo_enabled: self.memo_enabled,
+        }
+    }
 }
 
 impl UnionFindDecoder {
     /// Builds a decoder owning `graph`, quantizing edge weights to at most
     /// 32 growth quanta (minimum 1) for the growth stage.
+    ///
+    /// If the weights are degenerate (non-finite, or all ≈ 0 because every
+    /// probability ≈ 1/2) the decoder falls back to uniform unit weights —
+    /// exactly what the quantizer used to produce silently for such graphs.
+    /// Use [`UnionFindDecoder::try_new`] to surface the degeneracy as a
+    /// typed error instead.
     pub fn new(graph: DecodingGraph) -> Self {
-        let max_w = graph
-            .edges()
-            .iter()
-            .map(|e| e.weight)
-            .fold(f64::MIN, f64::max)
-            .max(1e-9);
-        let int_weights = graph
-            .edges()
-            .iter()
-            .map(|e| ((e.weight / max_w * WEIGHT_QUANTA).round() as u32).max(1))
-            .collect();
-        Self { graph, int_weights }
+        let compiled = CompiledGraph::compile(&graph)
+            .unwrap_or_else(|_| CompiledGraph::compile_uniform(&graph));
+        Self::from_parts(graph, compiled)
+    }
+
+    /// Builds a decoder owning `graph`, rejecting graphs whose edge weights
+    /// cannot be meaningfully quantized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DegenerateWeights`] when an edge weight is
+    /// non-finite or the maximum weight is ~zero (all probabilities ≈ 1/2);
+    /// quantizing such weights would silently flatten the weighted growth
+    /// order. [`UnionFindDecoder::new`] instead falls back to uniform
+    /// weights for these graphs.
+    pub fn try_new(graph: DecodingGraph) -> Result<Self, GraphError> {
+        let compiled = CompiledGraph::compile(&graph)?;
+        Ok(Self::from_parts(graph, compiled))
+    }
+
+    fn from_parts(graph: DecodingGraph, compiled: CompiledGraph) -> Self {
+        let (near, near_words) = build_near(&compiled);
+        Self {
+            graph,
+            compiled,
+            near,
+            near_words,
+            memo: RwLock::new(HashMap::new()),
+            memo_enabled: true,
+        }
+    }
+
+    /// The memo under its read lock; a poisoned lock is recovered (the memo
+    /// is always internally consistent — a panicking writer can at worst
+    /// leave a flushed map).
+    fn read_memo(&self) -> std::sync::RwLockReadGuard<'_, HashMap<Box<[u32]>, MemoEntry>> {
+        self.memo.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// En/disables the memoized component decomposition fast path (on by
+    /// default). The fast path splits a syndrome into defect components,
+    /// decodes each standalone with per-scratch memoization, and composes
+    /// the results when the components' grown regions are provably
+    /// disjoint; it changes throughput only, never outcomes — the
+    /// `memo_on_off_bit_identical_on_random_syndromes` test pins this.
+    #[must_use]
+    pub fn with_memo(mut self, enabled: bool) -> Self {
+        self.memo_enabled = enabled;
+        self
     }
 
     /// The underlying graph.
     pub fn graph(&self) -> &DecodingGraph {
         &self.graph
+    }
+
+    /// The compiled (CSR, quantized-weight) form the decode loop runs on.
+    pub fn compiled(&self) -> &CompiledGraph {
+        &self.compiled
     }
 
     /// Decodes a syndrome with a fresh scratch; prefer
@@ -241,7 +464,22 @@ impl UnionFindDecoder {
 
     /// Decodes a syndrome (the list of fired detectors), reporting
     /// convergence. All working state lives in `scratch`; steady state
-    /// performs no heap allocation.
+    /// performs no heap allocation beyond the component memo.
+    ///
+    /// The decode first tries the memoized component decomposition: the
+    /// defects are grouped into components (edge adjacency), each
+    /// component is decoded standalone — memoized per scratch, so recurring
+    /// local patterns (the bulk of Monte-Carlo syndromes) hit a table — and
+    /// the results are XOR-composed when the components' grown regions are
+    /// pairwise disjoint. Growth is frontier-driven, so a standalone
+    /// component decode touches exactly the edges its clusters ever reach;
+    /// when those reaches don't share an edge, the joint decode cannot
+    /// couple them (clusters interact only through shared frontier edges)
+    /// and the composition equals the full decode's outcome, correction
+    /// *set*, and convergence flag. Any overlap, oversized component, or
+    /// oversized syndrome falls back to the full decode. The fast path is
+    /// deterministic per (decoder, syndrome), so repeated decodes agree
+    /// regardless of scratch history.
     pub fn decode_into(&self, defects: &[u32], scratch: &mut UfScratch) -> UnionFindOutcome {
         if defects.is_empty() {
             scratch.correction.clear();
@@ -250,11 +488,226 @@ impl UnionFindDecoder {
                 converged: true,
             };
         }
-        let nd = self.graph.num_detectors();
+        if self.memo_enabled {
+            if let Some(out) = self.decode_decomposed(defects, scratch) {
+                return out;
+            }
+        }
+        self.decode_full_into(defects, scratch)
+    }
+
+    /// The memoized component decomposition fast path; `None` means the
+    /// syndrome must go through the full decode.
+    fn decode_decomposed(
+        &self,
+        defects: &[u32],
+        scratch: &mut UfScratch,
+    ) -> Option<UnionFindOutcome> {
+        let nd = self.compiled.num_detectors();
+        let k = defects.len();
+        if k > MEMO_MAX_DEFECTS || defects.iter().any(|&d| (d as usize) >= nd) {
+            return None;
+        }
+
+        // Tiny union–find over defect list indices, path-halving find.
+        fn tfind(p: &mut [u32], mut i: u32) -> u32 {
+            while p[i as usize] != i {
+                let gp = p[p[i as usize] as usize];
+                p[i as usize] = gp;
+                i = gp;
+            }
+            i
+        }
+        // Group edge-adjacent defects. The grouping is a heuristic for
+        // memo-key recurrence only — tight on purpose, so that dense
+        // syndromes still split into small memoizable pieces: a split
+        // that separates interacting defects is caught by the reach
+        // overlap check below and coarsened into a joint piece.
+        let words = self.near_words;
+        scratch.group_parent.clear();
+        scratch.group_parent.extend(0..k as u32);
+        for i in 0..k {
+            let row = &self.near[defects[i] as usize * words..][..words];
+            for (j, &dj) in defects.iter().enumerate().skip(i + 1) {
+                let dj = dj as usize;
+                if row[dj >> 6] & (1u64 << (dj & 63)) != 0 {
+                    let ri = tfind(&mut scratch.group_parent, i as u32);
+                    let rj = tfind(&mut scratch.group_parent, j as u32);
+                    if ri != rj {
+                        scratch.group_parent[rj as usize] = ri;
+                    }
+                }
+            }
+        }
+        // Components in first-occurrence order, each with a canonical
+        // (sorted) defect key. Seeding is order-independent, so the
+        // standalone decode of the sorted key equals the component's
+        // contribution under the caller's ordering.
+        scratch.key_buf.clear();
+        scratch.piece_ranges.clear();
+        let mut emitted = 0u64;
+        for i in 0..k {
+            if emitted & (1 << i) != 0 {
+                continue;
+            }
+            let r = tfind(&mut scratch.group_parent, i as u32);
+            let start = scratch.key_buf.len();
+            for (j, &dj) in defects.iter().enumerate().skip(i) {
+                if tfind(&mut scratch.group_parent, j as u32) == r {
+                    emitted |= 1 << j;
+                    scratch.key_buf.push(dj);
+                }
+            }
+            let len = scratch.key_buf.len() - start;
+            if len > MEMO_MAX_COMPONENT {
+                return None;
+            }
+            scratch.key_buf[start..].sort_unstable();
+            scratch.piece_ranges.push((start as u32, len as u32));
+        }
+
+        // Compose, decoding memo-missing pieces standalone through the
+        // nested scratch (no lock held) and coarsening overlapping pieces
+        // into one. Each miss memoizes a piece and each overlap removes
+        // one, so the loop terminates; the slack in the attempt cap
+        // absorbs memo-flush races (another thread clearing a full memo
+        // between insert and retry). Giving up falls back to the full
+        // decode — same result either way. In steady state the first
+        // attempt composes everything under a single read lock.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > 2 * k + 4 {
+                return None;
+            }
+            // Bind the compose result first: the read guard must drop
+            // before the `Missing` arm takes the write lock.
+            let composed = {
+                let memo = self.read_memo();
+                self.try_compose(&memo, scratch)
+            };
+            match composed {
+                Compose::Done(out) => return Some(out),
+                Compose::Missing(pi) => {
+                    let (s, l) = scratch.piece_ranges[pi];
+                    let (s, l) = (s as usize, l as usize);
+                    let mut sub = scratch.sub.take().unwrap_or_default();
+                    let out = self.decode_full_into(&scratch.key_buf[s..s + l], &mut sub);
+                    let entry = MemoEntry {
+                        observables: out.observables,
+                        converged: out.converged,
+                        correction: sub.correction.as_slice().into(),
+                        mask: sub.edge_mask.as_slice().into(),
+                    };
+                    scratch.sub = Some(sub);
+                    let mut memo = self.memo.write().unwrap_or_else(PoisonError::into_inner);
+                    if memo.len() >= MEMO_MAX_ENTRIES {
+                        memo.clear();
+                    }
+                    memo.entry(scratch.key_buf[s..s + l].to_vec().into_boxed_slice())
+                        .or_insert(entry);
+                }
+                Compose::Overlap(a, b) => {
+                    // Merge piece `b` into piece `a` (the pieces may
+                    // interact, so they must be decoded jointly); the other
+                    // pieces keep their order. The merged key is appended
+                    // to `key_buf` — stale ranges stay valid.
+                    let (sa, la) = scratch.piece_ranges[a];
+                    let (sb, lb) = scratch.piece_ranges[b];
+                    if (la + lb) as usize > MEMO_MAX_COMPONENT {
+                        return None;
+                    }
+                    let start = scratch.key_buf.len();
+                    scratch
+                        .key_buf
+                        .extend_from_within(sa as usize..(sa + la) as usize);
+                    scratch
+                        .key_buf
+                        .extend_from_within(sb as usize..(sb + lb) as usize);
+                    scratch.key_buf[start..].sort_unstable();
+                    scratch.piece_ranges[a] = (start as u32, la + lb);
+                    scratch.piece_ranges.remove(b);
+                }
+            }
+        }
+    }
+
+    /// Composes the grouped components from `memo`. Reaches must be
+    /// pairwise disjoint; the XOR of the standalone outcomes then equals
+    /// the joint decode's outcome (components that never share an edge
+    /// never exchange growth, and clusters meeting only at the virtual
+    /// boundary node are inert — boundary clusters stop growing, and
+    /// peeling the identical solid forest yields the same correction set).
+    fn try_compose(
+        &self,
+        memo: &HashMap<Box<[u32]>, MemoEntry>,
+        scratch: &mut UfScratch,
+    ) -> Compose {
+        let single = scratch.piece_ranges.len() == 1;
+        if !single {
+            scratch.acc_mask.clear();
+            scratch
+                .acc_mask
+                .resize(self.compiled.num_edges().div_ceil(64).max(1), 0);
+        }
+        let mut observables = 0u64;
+        let mut converged = true;
+        scratch.correction.clear();
+        for pi in 0..scratch.piece_ranges.len() {
+            let (s, l) = scratch.piece_ranges[pi];
+            let key = &scratch.key_buf[s as usize..(s + l) as usize];
+            let Some(e) = memo.get(key) else {
+                return Compose::Missing(pi);
+            };
+            if !single {
+                let overlaps = scratch
+                    .acc_mask
+                    .iter()
+                    .zip(e.mask.iter())
+                    .any(|(&a, &m)| a & m != 0);
+                if overlaps {
+                    // Identify the earliest prior piece sharing the reach.
+                    for pj in 0..pi {
+                        let (s2, l2) = scratch.piece_ranges[pj];
+                        let key2 = &scratch.key_buf[s2 as usize..(s2 + l2) as usize];
+                        let Some(e2) = memo.get(key2) else {
+                            return Compose::Missing(pj);
+                        };
+                        if e2.mask.iter().zip(e.mask.iter()).any(|(&a, &m)| a & m != 0) {
+                            return Compose::Overlap(pj, pi);
+                        }
+                    }
+                    unreachable!("accumulated mask is the union of prior piece masks");
+                }
+                for (a, &m) in scratch.acc_mask.iter_mut().zip(e.mask.iter()) {
+                    *a |= m;
+                }
+            }
+            observables ^= e.observables;
+            converged &= e.converged;
+            scratch.correction.extend_from_slice(&e.correction);
+        }
+        Compose::Done(UnionFindOutcome {
+            observables,
+            converged,
+        })
+    }
+
+    /// The full (non-decomposed) decode: seed, grow, merge, peel.
+    fn decode_full_into(&self, defects: &[u32], scratch: &mut UfScratch) -> UnionFindOutcome {
+        if defects.is_empty() {
+            scratch.correction.clear();
+            return UnionFindOutcome {
+                observables: 0,
+                converged: true,
+            };
+        }
+        let g = &self.compiled;
+        let nd = g.num_detectors();
         let boundary_node = nd as u32;
         let num_nodes = nd + 1;
-        let edges = self.graph.edges();
-        scratch.reset(num_nodes, edges.len());
+        scratch.begin(num_nodes, g.num_edges());
+        scratch.touch_node(boundary_node);
         scratch.boundary[nd] = true;
 
         // Seed odd-parity singleton clusters at the defects. Each defect's
@@ -264,7 +717,9 @@ impl UnionFindDecoder {
             scratch.parity[r] = !scratch.parity[r];
             if !scratch.seeded[d as usize] {
                 scratch.seeded[d as usize] = true;
-                scratch.frontier[d as usize].extend_from_slice(self.graph.incident(d));
+                scratch.touch_frontier(d);
+                scratch.frontier[d as usize].extend_from_slice(g.incident(d));
+                scratch.mark_edges(g.incident(d));
             }
         }
         for &d in defects {
@@ -280,47 +735,93 @@ impl UnionFindDecoder {
         // frontier grows by one quantum per active endpoint (all growth is
         // applied before any merge, matching simultaneous dense growth);
         // edges reaching their weight solidify and merge their endpoints.
+        //
+        // Rounds in which no edge can reach its weight are jumped over: a
+        // read-only pass counts how many frontiers grow each still-open edge
+        // (`pending`), the number of whole rounds until the earliest
+        // solidification is computed in closed form, and all but the last of
+        // those rounds are applied as a single multiple-of-`pending`
+        // increment. Because no edge solidifies during the jumped rounds,
+        // cluster membership and frontiers are unchanged across them, so the
+        // literal round that follows sees exactly the state the one-quantum
+        // formulation would have produced — the decision stream is
+        // bit-identical.
         loop {
-            scratch.to_merge.clear();
-            let mut grew = false;
+            // Pass 1: prune dead (solid or intra-cluster) frontier edges in
+            // place, count per-edge visits for the round jump, and record
+            // the surviving visit sequence. `swap_remove` keeps live edges
+            // in encounter order, so the recorded sequence is exactly the
+            // visit order the literal unit round would produce; nothing
+            // solidifies or merges between the passes, so pass 2 can replay
+            // it without re-resolving clusters.
+            scratch.round_edges.clear();
+            scratch.visit_edges.clear();
             for ai in 0..scratch.active.len() {
                 let root = scratch.active[ai];
-                // The active list holds valid odd non-boundary roots with
-                // non-empty frontiers (enforced by the refresh below, and by
-                // construction for the initial list).
+                let rooti = root as usize;
                 let mut i = 0;
-                while i < scratch.frontier[root as usize].len() {
-                    let ei = scratch.frontier[root as usize][i];
+                while i < scratch.frontier[rooti].len() {
+                    let ei = scratch.frontier[rooti][i];
+                    scratch.touch_edge(ei);
                     if scratch.solid[ei as usize] {
-                        scratch.frontier[root as usize].swap_remove(i);
+                        scratch.frontier[rooti].swap_remove(i);
                         continue;
                     }
-                    let e = &edges[ei as usize];
-                    let ru = scratch.find(e.u);
-                    let rv = scratch.find(e.v.unwrap_or(boundary_node));
-                    if ru == rv {
-                        scratch.frontier[root as usize].swap_remove(i);
+                    let [u, v] = g.endpoints(ei);
+                    // Every frontier edge of `root` has at least one
+                    // endpoint inside the cluster, so when one endpoint
+                    // resolves elsewhere the edge cannot be internal.
+                    let fu = scratch.find(u);
+                    debug_assert!(fu == root || scratch.find(v) == root);
+                    if fu == root && scratch.find(v) == root {
+                        scratch.frontier[rooti].swap_remove(i);
                         continue;
                     }
-                    grew = true;
-                    scratch.growth[ei as usize] += 1;
-                    if scratch.growth[ei as usize] >= self.int_weights[ei as usize] {
-                        scratch.to_merge.push(ei);
+                    if scratch.pending[ei as usize] == 0 {
+                        scratch.round_edges.push(ei);
                     }
+                    scratch.pending[ei as usize] += 1;
+                    scratch.visit_edges.push(ei);
                     i += 1;
                 }
             }
-            if !grew {
-                break;
+            if scratch.round_edges.is_empty() {
+                break; // nothing grew: all clusters even or on the boundary
+            }
+            // Rounds until the earliest edge reaches its weight; apply all
+            // but the last silently (growth only — no merges can happen).
+            let mut delta = u32::MAX;
+            for &ei in &scratch.round_edges {
+                let remaining = g.weight(ei) - scratch.growth[ei as usize];
+                let per_round = scratch.pending[ei as usize];
+                delta = delta.min(remaining.div_ceil(per_round));
+            }
+            for ri in 0..scratch.round_edges.len() {
+                let ei = scratch.round_edges[ri] as usize;
+                if delta > 1 {
+                    scratch.growth[ei] += (delta - 1) * scratch.pending[ei];
+                }
+                scratch.pending[ei] = 0;
+            }
+            // Pass 2: the literal unit round — replay the recorded visits,
+            // growing each live edge once per active endpoint and collecting
+            // edges that reach their weight in visit order (an edge shared
+            // by two active clusters may be pushed twice; the merge loop
+            // below skips the duplicate via its solid check).
+            scratch.to_merge.clear();
+            for vi in 0..scratch.visit_edges.len() {
+                let ei = scratch.visit_edges[vi];
+                scratch.growth[ei as usize] += 1;
+                if scratch.growth[ei as usize] >= g.weight(ei) {
+                    scratch.to_merge.push(ei);
+                }
             }
             for ti in 0..scratch.to_merge.len() {
                 let ei = scratch.to_merge[ti];
                 if scratch.solid[ei as usize] {
                     continue; // both endpoints pushed it this round
                 }
-                let e = &edges[ei as usize];
-                let u = e.u;
-                let v = e.v.unwrap_or(boundary_node);
+                let [u, v] = g.endpoints(ei);
                 if scratch.find(u) == scratch.find(v) {
                     continue; // became internal via an earlier merge
                 }
@@ -335,8 +836,9 @@ impl UnionFindDecoder {
                         // `node` may already be inside a cluster only if it
                         // was seeded before, so here it is its own root or a
                         // fresh member of this merge round's cluster.
-                        scratch.frontier[root as usize]
-                            .extend_from_slice(self.graph.incident(node));
+                        scratch.touch_frontier(root);
+                        scratch.frontier[root as usize].extend_from_slice(g.incident(node));
+                        scratch.mark_edges(g.incident(node));
                     }
                 }
                 scratch.union(u, v);
@@ -368,16 +870,16 @@ impl UnionFindDecoder {
 
     /// Peeling stage: spanning forest over solid edges, leaves first.
     fn peel(&self, defects: &[u32], scratch: &mut UfScratch) -> UnionFindOutcome {
-        let nd = self.graph.num_detectors();
-        let boundary_node = nd as u32;
-        let edges = self.graph.edges();
+        let g = &self.compiled;
+        let boundary_node = g.num_detectors() as u32;
 
-        // Adjacency restricted to solidified edges.
+        // Adjacency restricted to solidified edges. Every endpoint of a
+        // solid edge was touched during growth (it joined a cluster).
         for si in 0..scratch.solid_edges.len() {
             let ei = scratch.solid_edges[si];
-            let e = &edges[ei as usize];
-            scratch.push_adj(e.u, ei);
-            scratch.push_adj(e.v.unwrap_or(boundary_node), ei);
+            let [u, v] = g.endpoints(ei);
+            scratch.push_adj(u, ei);
+            scratch.push_adj(v, ei);
         }
 
         for &d in defects {
@@ -406,12 +908,8 @@ impl UnionFindDecoder {
                 let mut slot = scratch.adj_head[v as usize];
                 while slot != NONE {
                     let ei = scratch.adj_edge[slot as usize];
-                    let e = &edges[ei as usize];
-                    let other = if e.u == v {
-                        e.v.unwrap_or(boundary_node)
-                    } else {
-                        e.u
-                    };
+                    let [eu, ev] = g.endpoints(ei);
+                    let other = if eu == v { ev } else { eu };
                     if !scratch.visited[other as usize] {
                         scratch.visited[other as usize] = true;
                         scratch.queue.push_back(other);
@@ -433,22 +931,21 @@ impl UnionFindDecoder {
                 }
                 if scratch.defect[v as usize] {
                     scratch.defect[v as usize] = false;
-                    let e = &edges[ei as usize];
-                    let p = if e.u == v {
-                        e.v.unwrap_or(boundary_node)
-                    } else {
-                        e.u
-                    };
+                    let [eu, ev] = g.endpoints(ei);
+                    let p = if eu == v { ev } else { eu };
                     if p != boundary_node {
                         scratch.defect[p as usize] = !scratch.defect[p as usize];
                     }
-                    observables ^= e.observables;
+                    observables ^= g.observables(ei);
                     scratch.correction.push(ei);
                 }
             }
         }
-        // Any defect never reached by solid edges: isolated failure.
-        if scratch.defect[..nd].iter().any(|&d| d) {
+        // Any defect never resolved by peeling: isolated failure. A leftover
+        // defect can only sit at a BFS root (every defect is used as one),
+        // so scanning the defect list — all touched this epoch — is exact;
+        // untouched slots must not be read under the epoch scheme.
+        if defects.iter().any(|&d| scratch.defect[d as usize]) {
             converged = false;
         }
         UnionFindOutcome {
@@ -458,11 +955,56 @@ impl UnionFindDecoder {
     }
 }
 
+/// Builds the flattened per-detector edge-adjacency bitsets (self plus
+/// detectors one edge away) used by the fast path's component grouping.
+/// Rows and bits range over detectors only (the virtual boundary node
+/// never fires). Adjacency is deliberately tight: a wider radius makes
+/// dense syndromes percolate into one oversized component, while splits
+/// that separate interacting defects are repaired by reach-overlap
+/// coarsening.
+fn build_near(g: &CompiledGraph) -> (Vec<u64>, usize) {
+    let nd = g.num_detectors();
+    let words = nd.div_ceil(64).max(1);
+    let boundary = nd as u32;
+    let mut one = vec![0u64; nd * words];
+    for d in 0..nd {
+        let row = &mut one[d * words..(d + 1) * words];
+        row[d >> 6] |= 1 << (d & 63);
+        for &ei in g.incident(d as u32) {
+            for n in g.endpoints(ei) {
+                if n != boundary {
+                    row[(n >> 6) as usize] |= 1 << (n & 63);
+                }
+            }
+        }
+    }
+    (one, words)
+}
+
 impl Decoder for UnionFindDecoder {
     type Scratch = UfScratch;
 
     fn predict_into(&self, defects: &[u32], scratch: &mut UfScratch) -> u64 {
         self.decode_into(defects, scratch).observables
+    }
+
+    fn predict_batch_into(
+        &self,
+        syndromes: &SyndromeBatch,
+        out: &mut Vec<u64>,
+        scratch: &mut UfScratch,
+    ) {
+        out.clear();
+        // Word-skipping extraction straight into the scratch-resident buffer;
+        // the epoch-tagged scratch makes the per-shot reset O(touched), so
+        // the all-zero rows that dominate below threshold cost almost
+        // nothing.
+        let mut defects = std::mem::take(&mut scratch.defects_buf);
+        for s in 0..syndromes.num_shots() {
+            syndromes.fired_into(s, &mut defects);
+            out.push(self.decode_into(&defects, scratch).observables);
+        }
+        scratch.defects_buf = defects;
     }
 }
 
@@ -678,5 +1220,246 @@ mod tests {
         let out = d.decode(&[1, 38]);
         assert!(out.converged);
         assert_eq!(out.observables, 1, "each defect exits its nearest boundary");
+    }
+
+    #[test]
+    fn mixed_weight_growth_matches_unjumped_reference() {
+        // A graph with strongly mixed weights exercises the round-jump path
+        // (heavy edges take many quanta). The outcome and correction must
+        // match a decode on the same graph compiled with the same weights
+        // but driven only through fresh scratches (identical decisions, so
+        // any divergence would show up as a different correction).
+        let dem = DetectorErrorModel {
+            num_detectors: 4,
+            num_observables: 2,
+            errors: vec![
+                DemError {
+                    probability: 1e-9,
+                    detectors: vec![0],
+                    observables: 1,
+                },
+                DemError {
+                    probability: 0.2,
+                    detectors: vec![0, 1],
+                    observables: 0,
+                },
+                DemError {
+                    probability: 1e-4,
+                    detectors: vec![1, 2],
+                    observables: 2,
+                },
+                DemError {
+                    probability: 0.3,
+                    detectors: vec![2, 3],
+                    observables: 0,
+                },
+                DemError {
+                    probability: 0.05,
+                    detectors: vec![3],
+                    observables: 0,
+                },
+            ],
+        };
+        let g = DecodingGraph::from_dem(&dem).unwrap();
+        let d = UnionFindDecoder::new(g);
+        let mut scratch = UfScratch::default();
+        for syndrome in [
+            vec![0u32],
+            vec![3],
+            vec![0, 3],
+            vec![1, 2],
+            vec![0, 1, 2, 3],
+            vec![2],
+        ] {
+            let reused = d.decode_into(&syndrome, &mut scratch);
+            let reused_corr = scratch.correction().to_vec();
+            let mut fresh_scratch = UfScratch::default();
+            let fresh = d.decode_into(&syndrome, &mut fresh_scratch);
+            assert_eq!(reused, fresh, "syndrome {syndrome:?}");
+            assert_eq!(
+                reused_corr,
+                fresh_scratch.correction(),
+                "syndrome {syndrome:?}"
+            );
+            assert!(reused.converged);
+        }
+    }
+
+    #[test]
+    fn memo_on_off_bit_identical_on_random_syndromes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        // A denser graphlike DEM than the chain: a 4×4 detector grid with
+        // horizontal and vertical edges, boundary edges on the top and
+        // bottom rims, varied probabilities (hence varied quantized
+        // weights), and scattered observables.
+        fn grid_graph() -> DecodingGraph {
+            let idx = |r: usize, c: usize| (r * 4 + c) as u32;
+            let mut errors = Vec::new();
+            for r in 0..4 {
+                for c in 0..4 {
+                    let p = 0.01 + 0.02 * ((r * 4 + c) % 5) as f64;
+                    if c + 1 < 4 {
+                        errors.push(DemError {
+                            probability: p,
+                            detectors: vec![idx(r, c), idx(r, c + 1)],
+                            observables: ((r + c) % 4) as u64,
+                        });
+                    }
+                    if r + 1 < 4 {
+                        errors.push(DemError {
+                            probability: 0.3 - p,
+                            detectors: vec![idx(r, c), idx(r + 1, c)],
+                            observables: ((r * c) % 3) as u64,
+                        });
+                    }
+                    if r == 0 || r == 3 {
+                        errors.push(DemError {
+                            probability: p,
+                            detectors: vec![idx(r, c)],
+                            observables: (c % 2) as u64,
+                        });
+                    }
+                }
+            }
+            DecodingGraph::from_dem(&DetectorErrorModel {
+                num_detectors: 16,
+                num_observables: 2,
+                errors,
+            })
+            .unwrap()
+        }
+
+        for graph in [chain_graph(0.02), grid_graph()] {
+            let nd = graph.num_detectors() as u32;
+            let on = UnionFindDecoder::new(graph);
+            let off = on.clone().with_memo(false);
+            let mut s_on = UfScratch::default();
+            let mut s_off = UfScratch::default();
+            let mut rng = StdRng::seed_from_u64(41);
+            for trial in 0..400 {
+                let syndrome: Vec<u32> = (0..nd).filter(|_| rng.random_bool(0.3)).collect();
+                let fast = on.decode_into(&syndrome, &mut s_on);
+                let full = off.decode_into(&syndrome, &mut s_off);
+                assert_eq!(fast, full, "trial {trial}, syndrome {syndrome:?}");
+                // The fast path may order correction edges differently
+                // (piece by piece), but the correction *set* must match —
+                // every consumer is set-based (observable XOR, windowed
+                // commit-boundary projection).
+                let mut corr_fast = s_on.correction().to_vec();
+                let mut corr_full = s_off.correction().to_vec();
+                corr_fast.sort_unstable();
+                corr_full.sort_unstable();
+                assert_eq!(corr_fast, corr_full, "trial {trial}, syndrome {syndrome:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn new_falls_back_to_uniform_weights_on_degenerate_graphs() {
+        // All p = 0.5: every weight ~0, so quantization would divide by ~0.
+        // `new` must fall back to uniform weights and still decode.
+        let dem = DetectorErrorModel {
+            num_detectors: 2,
+            num_observables: 1,
+            errors: vec![
+                DemError {
+                    probability: 0.5,
+                    detectors: vec![0],
+                    observables: 1,
+                },
+                DemError {
+                    probability: 0.5,
+                    detectors: vec![0, 1],
+                    observables: 0,
+                },
+                DemError {
+                    probability: 0.5,
+                    detectors: vec![1],
+                    observables: 0,
+                },
+            ],
+        };
+        let g = DecodingGraph::from_dem(&dem).unwrap();
+        let d = UnionFindDecoder::new(g.clone());
+        assert!(d.compiled().is_uniform());
+        let out = d.decode(&[0]);
+        assert!(out.converged);
+        // And the typed-error constructor surfaces the degeneracy instead.
+        assert_eq!(
+            UnionFindDecoder::try_new(g).unwrap_err(),
+            GraphError::DegenerateWeights { edge: None }
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_weights() {
+        let dem = DetectorErrorModel {
+            num_detectors: 1,
+            num_observables: 0,
+            errors: vec![
+                DemError {
+                    probability: 0.01,
+                    detectors: vec![0],
+                    observables: 0,
+                },
+                DemError {
+                    probability: f64::NAN,
+                    detectors: vec![0],
+                    observables: 0,
+                },
+            ],
+        };
+        let g = DecodingGraph::from_dem(&dem).unwrap();
+        assert_eq!(
+            UnionFindDecoder::try_new(g.clone()).unwrap_err(),
+            GraphError::DegenerateWeights { edge: Some(1) }
+        );
+        // The lenient constructor still produces a working decoder.
+        let d = UnionFindDecoder::new(g);
+        assert!(d.compiled().is_uniform());
+        assert!(d.decode(&[0]).converged);
+    }
+
+    #[test]
+    fn healthy_graphs_keep_weighted_growth_in_new() {
+        let d = UnionFindDecoder::new(chain_graph(0.01));
+        assert!(!d.compiled().is_uniform());
+    }
+
+    #[test]
+    fn batch_predict_matches_per_shot() {
+        use raa_stabsim::SyndromeBatch;
+        let d = UnionFindDecoder::new(chain_graph(0.01));
+        let syndromes: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![],
+            vec![0, 1],
+            vec![2],
+            vec![0, 1, 2],
+            vec![1],
+            vec![0, 2],
+            vec![],
+        ];
+        let mut batch = SyndromeBatch::default();
+        batch.reset(syndromes.len(), d.graph().num_detectors());
+        for (s, syn) in syndromes.iter().enumerate() {
+            for &det in syn {
+                batch.set_detector(s, det as usize);
+            }
+        }
+        let mut scratch = UfScratch::default();
+        let mut out = Vec::new();
+        d.predict_batch_into(&batch, &mut out, &mut scratch);
+        assert_eq!(out.len(), syndromes.len());
+        let mut per_shot_scratch = UfScratch::default();
+        for (s, syn) in syndromes.iter().enumerate() {
+            assert_eq!(
+                out[s],
+                d.predict_into(syn, &mut per_shot_scratch),
+                "shot {s}"
+            );
+        }
     }
 }

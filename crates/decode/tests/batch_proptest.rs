@@ -1,0 +1,80 @@
+//! Property test of the batch decode contract: on random graphlike DEMs,
+//! `predict_batch_into` must agree shot for shot with extracting each
+//! shot's defects and calling `predict_into` — the batched union–find
+//! (compiled graph, epoch-tagged scratch reset, word-skipping defect
+//! extraction) is an execution strategy, never a semantic change.
+
+use proptest::prelude::*;
+use raa_decode::{Decoder, DecodingGraph, UnionFindDecoder};
+use raa_stabsim::dem::{DemError, DetectorErrorModel};
+use raa_stabsim::SyndromeBatch;
+
+/// Builds a graphlike DEM over `nd ≤ 8` detectors from raw draws: every
+/// mechanism touches one detector (a boundary edge) or two (an internal
+/// edge), with varied probabilities (hence varied quantized weights) and
+/// small observable masks.
+fn build_dem(nd: usize, raw: &[(f64, u8, u8, u64)]) -> DetectorErrorModel {
+    let errors = raw
+        .iter()
+        .map(|&(p, a, b, obs)| {
+            let a = a as usize % nd;
+            // One extra slot in b's range selects a boundary edge.
+            let b = b as usize % (nd + 1);
+            let detectors = if b == nd || b == a {
+                vec![a as u32]
+            } else {
+                vec![a as u32, b as u32]
+            };
+            DemError {
+                probability: p,
+                detectors,
+                observables: obs,
+            }
+        })
+        .collect();
+    DetectorErrorModel {
+        num_detectors: nd,
+        num_observables: 2,
+        errors,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batched_unionfind_matches_per_shot(
+        nd in 1usize..=8,
+        raw_errors in collection::vec((0.01f64..0.45, any::<u8>(), any::<u8>(), 0u64..4), 1..=20),
+        shot_bits in collection::vec(any::<u8>(), 1..80),
+    ) {
+        let dem = build_dem(nd, &raw_errors);
+        let graph = DecodingGraph::from_dem(&dem).unwrap();
+        let decoder = UnionFindDecoder::new(graph);
+
+        // Pack the random shots into a bit-packed batch.
+        let mut batch = SyndromeBatch::default();
+        batch.reset(shot_bits.len(), nd);
+        for (s, &bits) in shot_bits.iter().enumerate() {
+            for d in 0..nd {
+                if bits & (1 << d) != 0 {
+                    batch.set_detector(s, d);
+                }
+            }
+        }
+
+        let mut scratch = Default::default();
+        let mut batched = Vec::new();
+        decoder.predict_batch_into(&batch, &mut batched, &mut scratch);
+        prop_assert_eq!(batched.len(), shot_bits.len());
+
+        // Reference: extract each shot's defects, decode one at a time
+        // through the same scratch (interleaving exercises the epoch reset).
+        let mut defects = Vec::new();
+        for (s, &predicted) in batched.iter().enumerate() {
+            batch.fired_into(s, &mut defects);
+            let reference = decoder.predict_into(&defects, &mut scratch);
+            prop_assert_eq!(predicted, reference, "shot {}", s);
+        }
+    }
+}

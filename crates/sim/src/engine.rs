@@ -9,7 +9,7 @@
 
 use crate::record::ExperimentRecord;
 use crate::spec::{DecoderChoice, ExperimentSpec, SamplerChoice, Scenario, ShotBudget, SweepGrid};
-use raa_decode::mc::{self, CircuitSampler, DecodeStats, Sampler};
+use raa_decode::mc::{self, CircuitSampler, DecodeStats, McError, Sampler};
 use raa_decode::{
     BpUnionFindDecoder, Decoder, DecodingGraph, MatchingDecoder, UniformLayers, UnionFindDecoder,
     WindowedDecoder,
@@ -116,7 +116,7 @@ fn spend_budget<S: Sampler, D: Decoder + Sync>(
     decoder: &D,
     spec: &ExperimentSpec,
     seed: u64,
-) -> DecodeStats {
+) -> Result<DecodeStats, McError> {
     match spec.shots {
         ShotBudget::Fixed(shots) => {
             mc::logical_error_rate_sampled(sampler, decoder, shots, seed, &spec.mc)
@@ -144,7 +144,7 @@ fn decode_budget<D: Decoder + Sync>(
     decoder: &D,
     spec: &ExperimentSpec,
     seed: u64,
-) -> DecodeStats {
+) -> Result<DecodeStats, McError> {
     match spec.sampler {
         SamplerChoice::Dem => spend_budget(&DemSampler::new(dem), decoder, spec, seed),
         SamplerChoice::Circuit => spend_budget(&CircuitSampler::new(circuit), decoder, spec, seed),
@@ -160,7 +160,7 @@ fn decode_budget_streamed(
     decoder: &WindowedDecoder<UniformLayers>,
     spec: &ExperimentSpec,
     seed: u64,
-) -> DecodeStats {
+) -> Result<DecodeStats, McError> {
     match spec.shots {
         ShotBudget::Fixed(shots) => {
             mc::logical_error_rate_streamed(sampler, decoder, shots, seed, &spec.mc)
@@ -198,15 +198,43 @@ pub struct RunTiming {
 /// # Panics
 ///
 /// Panics if [`DecoderChoice::Windowed`] is requested for a scenario
-/// without uniform time layering (anything but memory or deep-CNOT), or if
+/// without uniform time layering (anything but memory or deep-CNOT), if
 /// `streaming` is set without a windowed decoder, without the DEM sampler,
-/// or on an unlayered scenario.
+/// or on an unlayered scenario, or if the decode thread pool cannot be
+/// built (see [`try_run`] for the fallible form).
 pub fn run(spec: &ExperimentSpec) -> ExperimentRecord {
     run_timed(spec).0
 }
 
 /// Like [`run`], but also reports the setup/decode wall-clock split.
+///
+/// # Panics
+///
+/// As [`run`]; see [`try_run_timed`] for the fallible form.
 pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
+    try_run_timed(spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`run`]: infrastructure failures (the decode thread
+/// pool failing to build) surface as [`McError`] instead of a panic.
+/// Spec-shape violations (windowed/streaming constraints) still panic —
+/// they are caller bugs, not runtime conditions.
+///
+/// # Errors
+///
+/// Returns [`McError::PoolBuild`] when the spec's [`raa_decode::McConfig`]
+/// requests a dedicated thread pool and building it fails.
+pub fn try_run(spec: &ExperimentSpec) -> Result<ExperimentRecord, McError> {
+    Ok(try_run_timed(spec)?.0)
+}
+
+/// Fallible form of [`run_timed`]; see [`try_run`] for the error contract.
+///
+/// # Errors
+///
+/// Returns [`McError::PoolBuild`] when the spec's [`raa_decode::McConfig`]
+/// requests a dedicated thread pool and building it fails.
+pub fn try_run_timed(spec: &ExperimentSpec) -> Result<(ExperimentRecord, RunTiming), McError> {
     let start = Instant::now();
     let circuit = build_circuit(spec);
     let dem = DetectorErrorModel::from_circuit(&circuit);
@@ -216,10 +244,10 @@ pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
         !spec.streaming || matches!(spec.decoder, DecoderChoice::Windowed { .. }),
         "streaming decoding requires the windowed decoder"
     );
-    let timed = |decode: &dyn Fn() -> DecodeStats| {
+    let timed = |decode: &dyn Fn() -> Result<DecodeStats, McError>| {
         let t0 = Instant::now();
-        let stats = decode();
-        (stats, t0.elapsed().as_secs_f64())
+        let stats = decode()?;
+        Ok::<_, McError>((stats, t0.elapsed().as_secs_f64()))
     };
     let (stats, decode_seconds) = match spec.decoder {
         DecoderChoice::UnionFind => {
@@ -257,7 +285,7 @@ pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
                 timed(&|| decode_budget(&circuit, &dem, &decoder, spec, decode_seed))
             }
         }
-    };
+    }?;
     let timing = RunTiming {
         setup_seconds: start.elapsed().as_secs_f64() - decode_seconds,
         decode_seconds,
@@ -328,7 +356,7 @@ pub fn run_timed(spec: &ExperimentSpec) -> (ExperimentRecord, RunTiming) {
         shots: stats.shots,
         failures: stats.failures,
     };
-    (record, timing)
+    Ok((record, timing))
 }
 
 /// Runs every point of a sweep grid in its deterministic expansion order.
@@ -373,6 +401,15 @@ mod tests {
         assert!(r.num_dem_errors > 0);
         assert!(r.logical_error_rate() < 0.1);
         assert!(r.error_per_cnot().is_none());
+    }
+
+    #[test]
+    fn try_run_matches_run() {
+        let spec = memory_spec();
+        let (record, timing) = try_run_timed(&spec).expect("ambient pool cannot fail");
+        assert_eq!(record.to_json(), run(&spec).to_json());
+        assert!(timing.decode_seconds >= 0.0);
+        assert!(timing.setup_seconds >= 0.0);
     }
 
     #[test]

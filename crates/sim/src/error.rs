@@ -120,6 +120,16 @@ impl From<io::Error> for OrchestratorError {
     }
 }
 
+impl From<raa_decode::mc::McError> for OrchestratorError {
+    fn from(e: raa_decode::mc::McError) -> Self {
+        match e {
+            raa_decode::mc::McError::PoolBuild { requested, detail } => {
+                OrchestratorError::PoolBuild { requested, detail }
+            }
+        }
+    }
+}
+
 impl From<LockError> for OrchestratorError {
     fn from(e: LockError) -> Self {
         match e {

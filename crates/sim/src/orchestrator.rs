@@ -731,9 +731,12 @@ impl Orchestrator {
     ///
     /// # Errors
     ///
-    /// Only cache I/O past the retry budget errors; a panicking engine run
-    /// is an `Ok(PointOutcome::Poisoned(..))`, and lock-wait exhaustion
-    /// falls back to (correct, duplicated) sampling.
+    /// Cache I/O past the retry budget errors, as does the engine failing
+    /// to build its decode thread pool (surfaced as
+    /// [`OrchestratorError::PoolBuild`] via [`engine::try_run`] — a
+    /// configuration fault, not a property of the point). A panicking
+    /// engine run is an `Ok(PointOutcome::Poisoned(..))`, and lock-wait
+    /// exhaustion falls back to (correct, duplicated) sampling.
     pub fn run_point(
         &self,
         index: usize,
@@ -774,16 +777,18 @@ impl Orchestrator {
                 // would oversubscribe without changing any record.
                 let mut inner = spec.clone();
                 inner.mc.threads = 1;
-                engine::run(&inner)
+                engine::try_run(&inner)
             } else {
-                engine::run(spec)
+                engine::try_run(spec)
             }
         };
         CONTAINING_PANICS.with(|c| c.set(true));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run_engine));
         CONTAINING_PANICS.with(|c| c.set(false));
         let record = match result {
-            Ok(record) => record,
+            // A typed engine error (decode pool build) is infrastructure,
+            // not a property of the point: fail the job, don't poison.
+            Ok(run) => run?,
             Err(payload) => {
                 return Ok(PointOutcome::Poisoned(PoisonedPoint {
                     index,

@@ -87,7 +87,8 @@ fn deep_memory_anchor_streamed_pinned_and_bit_identical() {
         shots,
         seed,
         &McConfig::default().with_threads(1),
-    );
+    )
+    .unwrap();
     // Exact pinned anchor (see module docs for the re-pin policy).
     assert_eq!(base.shots, shots);
     assert_eq!(
@@ -103,14 +104,16 @@ fn deep_memory_anchor_streamed_pinned_and_bit_identical() {
             shots,
             seed,
             &McConfig::default().with_threads(threads),
-        );
+        )
+        .unwrap();
         assert_eq!(base, multi, "threads = {threads}");
     }
 
     // Bit-identical against the whole-batch reference entry point (the
     // same time-sliced sampler through the Sampler trait, O(circuit)
     // memory instead of O(window)).
-    let batch = logical_error_rate_sampled(&sampler, &decoder, shots, seed, &McConfig::default());
+    let batch =
+        logical_error_rate_sampled(&sampler, &decoder, shots, seed, &McConfig::default()).unwrap();
     assert_eq!(base, batch, "streaming vs batch entry point");
 }
 
@@ -162,7 +165,7 @@ fn streamed_at_buffer(
     seed: u64,
 ) -> DecodeStats {
     let decoder = windowed(graph.clone(), dpl, 2, buffer);
-    logical_error_rate_streamed(sampler, &decoder, shots, seed, &McConfig::default())
+    logical_error_rate_streamed(sampler, &decoder, shots, seed, &McConfig::default()).unwrap()
 }
 
 #[test]
@@ -175,7 +178,8 @@ fn convergence_to_whole_circuit_with_buffer_d3() {
     let uf = UnionFindDecoder::new(graph.clone());
     let shots = 3_000;
     let seed = 0xC0117;
-    let global = logical_error_rate_sampled(&sampler, &uf, shots, seed, &McConfig::default());
+    let global =
+        logical_error_rate_sampled(&sampler, &uf, shots, seed, &McConfig::default()).unwrap();
     assert_eq!(global.failures, 301, "pinned whole-circuit count drifted");
 
     let buffers = [0usize, 1, 2, 4, 8, 10];
@@ -209,7 +213,8 @@ fn convergence_to_whole_circuit_with_buffer_d5() {
     let uf = UnionFindDecoder::new(graph.clone());
     let shots = 2_000;
     let seed = 0xC0115;
-    let global = logical_error_rate_sampled(&sampler, &uf, shots, seed, &McConfig::default());
+    let global =
+        logical_error_rate_sampled(&sampler, &uf, shots, seed, &McConfig::default()).unwrap();
     assert_eq!(global.failures, 111, "pinned whole-circuit count drifted");
 
     let buffers = [0usize, 2, 4, 8];

@@ -524,7 +524,7 @@ mod tests {
             for shot in 0..shots {
                 part.fired_into(shot, &mut fired);
                 for &d in &fired {
-                    ref_batch.set(shot, d as usize);
+                    ref_batch.set_detector(shot, d as usize);
                 }
                 ref_obs[shot] ^= part_obs[shot];
             }

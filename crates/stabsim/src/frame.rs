@@ -244,11 +244,11 @@ impl SyndromeBatch {
         (&self.bits, self.words_per_shot)
     }
 
-    /// Sets detector `d` of shot `s` (in-crate tests building reference
-    /// batches by hand).
-    #[cfg(test)]
-    pub(crate) fn set(&mut self, s: usize, d: usize) {
-        debug_assert!(s < self.num_shots && d < self.num_detectors);
+    /// Sets detector `d` of shot `s`. Mostly useful for building reference
+    /// batches by hand (tests, batch-vs-per-shot equivalence checks);
+    /// samplers write whole shot-major words instead.
+    pub fn set_detector(&mut self, s: usize, d: usize) {
+        assert!(s < self.num_shots && d < self.num_detectors);
         self.bits[s * self.words_per_shot + d / 64] |= 1u64 << (d % 64);
     }
 
