@@ -1,0 +1,59 @@
+//! FNV/Fx-style hashing for the decoders' hot-path memo tables.
+//!
+//! The memo keys are short sorted `u32` slices, for which SipHash's
+//! per-call setup dominates the whole lookup. Hot-path table hits are
+//! ~100 ns events; a DoS-resistant hash would cost more than the decode
+//! it guards, and the keys come from the decoder's own syndromes, not
+//! from an adversary.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher specialized for `u32`-slice keys.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FxHasher(u64);
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`.
+pub(crate) type BuildFxHasher = BuildHasherDefault<FxHasher>;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u32(v as u32);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn slices_round_trip_through_a_map() {
+        let mut m: HashMap<Box<[u32]>, u64, BuildFxHasher> = HashMap::default();
+        m.insert(vec![1, 2, 3].into(), 7);
+        m.insert(vec![].into(), 9);
+        m.insert(vec![1, 2].into(), 11);
+        assert_eq!(m.get([1u32, 2, 3].as_slice()), Some(&7));
+        assert_eq!(m.get([].as_slice()), Some(&9));
+        assert_eq!(m.get([1u32, 2].as_slice()), Some(&11));
+        assert_eq!(m.get([2u32, 3].as_slice()), None);
+    }
+}

@@ -106,6 +106,7 @@
 //! ```
 
 pub mod bp;
+mod fxhash;
 pub mod graph;
 pub mod matching;
 pub mod mc;
@@ -117,7 +118,9 @@ pub use graph::{CompiledGraph, DecodingGraph, Edge, GraphError};
 pub use matching::{MatchScratch, MatchingDecoder};
 pub use mc::{CircuitSampler, DecodeStats, McConfig, McError, Sampler, SeedPolicy};
 pub use unionfind::{UfScratch, UnionFindDecoder, UnionFindOutcome};
-pub use windowed::{LayerAssignment, UniformLayers, WindowScratch, WindowState, WindowedDecoder};
+pub use windowed::{
+    LayerAssignment, UniformLayers, WindowError, WindowScratch, WindowState, WindowedDecoder,
+};
 
 use raa_stabsim::SyndromeBatch;
 

@@ -29,8 +29,8 @@
 use crate::windowed::{LayerAssignment, WindowScratch, WindowState, WindowedDecoder};
 use crate::Decoder;
 use raa_stabsim::{
-    Circuit, DemSampler, DetectorSamples, FrameSim, StreamingDemSampler, StreamingScratch,
-    SyndromeBatch,
+    Circuit, DemSampler, DetectorSamples, FrameSim, LayerRing, StreamingDemSampler,
+    StreamingScratch, SyndromeBatch,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -656,35 +656,45 @@ pub fn logical_error_rate_until_seeded<D: Decoder + Sync>(
 }
 
 /// Per-worker state of the **streaming** pipeline: the sampler's rolling
-/// window, one [`WindowState`] per in-flight shot, and the shared windowed
-/// decode scratch — everything reused batch to batch. Peak resident
-/// syndrome memory is `batch × window` bits, independent of circuit depth.
+/// window, a [`LayerRing`] of the open window's finalized bitplanes, one
+/// [`WindowState`] per in-flight shot, and the shared windowed decode
+/// scratch — everything reused batch to batch. Peak resident syndrome
+/// memory is `batch × window` bits, independent of circuit depth.
 struct StreamWorker {
     scratch: StreamingScratch,
+    ring: LayerRing,
     states: Vec<WindowState>,
     win: WindowScratch,
     obs_masks: Vec<u64>,
     defects: Vec<u32>,
+    layer_defects: Vec<u32>,
 }
 
 impl StreamWorker {
     fn new() -> Self {
         Self {
             scratch: StreamingScratch::default(),
+            ring: LayerRing::default(),
             states: Vec::new(),
             win: WindowScratch::default(),
             obs_masks: Vec::new(),
             defects: Vec::new(),
+            layer_defects: Vec::new(),
         }
     }
 
-    /// Samples and decodes one batch of shots layer by layer: each
-    /// finalized layer's defects feed every shot's windowed decode session,
-    /// and window steps run as soon as their look-ahead is complete.
+    /// Samples and decodes one batch of shots **window-major**: each layer
+    /// is sampled once into the [`LayerRing`], and as soon as a window's
+    /// look-ahead is complete the *whole shot block* steps through that
+    /// window back to back — so the window's compiled template and its
+    /// component memo stay hot across all shots — before the next layer is
+    /// sampled.
     ///
     /// Draws the per-layer RNG streams exactly as the [`Sampler`] impl of
-    /// [`StreamingDemSampler`] does, so for the same batch stream the
-    /// decoded realizations are bit-identical to the whole-batch path.
+    /// [`StreamingDemSampler`] does, and runs the same window steps the
+    /// per-shot `stream_push`/`stream_advance` driver would (the defect
+    /// merge is XOR-identical), so the decoded realizations stay
+    /// bit-identical to the whole-batch path.
     fn decode_batch<L: LayerAssignment>(
         &mut self,
         sampler: &StreamingDemSampler,
@@ -703,28 +713,75 @@ impl StreamWorker {
             decoder.stream_reset(state);
         }
         let dpl = sampler.detectors_per_layer();
-        for layer in 0..sampler.num_layers() {
+        let num_layers = sampler.num_layers();
+        if decoder.is_global() {
+            // Whole-circuit window: no steps to interleave — feed each
+            // shot's defects per layer and run the one global decode.
+            for layer in 0..num_layers {
+                let mut layer_rng = StdRng::seed_from_u64(mix_seed(base, layer as u64));
+                sampler.sample_next_layer(&mut layer_rng, &mut self.scratch, &mut self.obs_masks);
+                let base_det = (layer * dpl) as u32;
+                for s in 0..shots {
+                    self.scratch.layer().fired_into(s, &mut self.defects);
+                    for d in &mut self.defects {
+                        *d += base_det;
+                    }
+                    decoder.stream_push(&mut self.states[s], &self.defects);
+                }
+            }
+            let mut stats = DecodeStats::default();
+            for s in 0..shots {
+                let predicted = decoder.stream_finish(&mut self.states[s], &mut self.win);
+                stats.shots += 1;
+                if predicted != self.obs_masks[s] {
+                    stats.failures += 1;
+                }
+            }
+            return stats;
+        }
+        let window = decoder.commit() + decoder.buffer();
+        self.ring.reset(window.min(num_layers), dpl);
+        let mut next_start = 0usize;
+        for layer in 0..num_layers {
             let mut layer_rng = StdRng::seed_from_u64(mix_seed(base, layer as u64));
             sampler.sample_next_layer(&mut layer_rng, &mut self.scratch, &mut self.obs_masks);
-            let base_det = (layer * dpl) as u32;
-            for s in 0..shots {
-                self.scratch.layer().fired_into(s, &mut self.defects);
-                for d in &mut self.defects {
-                    *d += base_det;
-                }
-                decoder.stream_push(&mut self.states[s], &self.defects);
-                decoder.stream_advance(&mut self.states[s], layer + 1, &mut self.win);
+            self.ring.store(layer, self.scratch.layer());
+            while next_start < num_layers && next_start + window <= layer + 1 {
+                self.step_all_shots(decoder, shots, next_start, num_layers);
+                next_start += decoder.commit();
             }
+        }
+        // Tail windows: clipped look-ahead, all still resident in the ring.
+        while next_start < num_layers {
+            self.step_all_shots(decoder, shots, next_start, num_layers);
+            next_start += decoder.commit();
         }
         let mut stats = DecodeStats::default();
         for s in 0..shots {
-            let predicted = decoder.stream_finish(&mut self.states[s], &mut self.win);
             stats.shots += 1;
-            if predicted != self.obs_masks[s] {
+            if self.states[s].committed_observables() != self.obs_masks[s] {
                 stats.failures += 1;
             }
         }
         stats
+    }
+
+    /// Steps every shot of the block through the window starting at layer
+    /// `start`, extracting each shot's window defects from the ring.
+    fn step_all_shots<L: LayerAssignment>(
+        &mut self,
+        decoder: &WindowedDecoder<L>,
+        shots: usize,
+        start: usize,
+        num_layers: usize,
+    ) {
+        let hi = (start + decoder.commit() + decoder.buffer()).min(num_layers);
+        for s in 0..shots {
+            self.defects.clear();
+            self.ring
+                .extract_into(s, start, hi, &mut self.layer_defects, &mut self.defects);
+            decoder.stream_step_fired(&mut self.states[s], &self.defects, &mut self.win);
+        }
     }
 }
 

@@ -269,6 +269,19 @@ impl UfScratch {
         &self.correction
     }
 
+    /// Whether the last decode's reach (every edge that entered a frontier
+    /// list) intersects `mask`, a bitset over edge indices. Only meaningful
+    /// after a non-empty decode through a decoder with reach tracking
+    /// enabled (see [`UnionFindDecoder::with_reach_tracking`]); the windowed
+    /// decoder uses this to prove a window-template decode never touched an
+    /// edge whose neighborhood the template clips.
+    pub(crate) fn reach_intersects(&self, mask: &[u64]) -> bool {
+        self.edge_mask
+            .iter()
+            .zip(mask.iter())
+            .any(|(&a, &b)| a & b != 0)
+    }
+
     fn find(&mut self, x: u32) -> u32 {
         // Nodes on a parent chain were all touched when they were unioned,
         // so only the entry point needs the staleness check.
@@ -370,6 +383,9 @@ pub struct UnionFindDecoder {
     memo: RwLock<HashMap<Box<[u32]>, MemoEntry>>,
     /// Whether the memoized component decomposition fast path is enabled.
     memo_enabled: bool,
+    /// Whether `scratch.edge_mask` must hold the decode's reach after every
+    /// non-empty `decode_into`, including memo-composed decodes.
+    track_reach: bool,
 }
 
 impl Clone for UnionFindDecoder {
@@ -381,6 +397,7 @@ impl Clone for UnionFindDecoder {
             near_words: self.near_words,
             memo: RwLock::new(self.read_memo().clone()),
             memo_enabled: self.memo_enabled,
+            track_reach: self.track_reach,
         }
     }
 }
@@ -415,7 +432,11 @@ impl UnionFindDecoder {
         Ok(Self::from_parts(graph, compiled))
     }
 
-    fn from_parts(graph: DecodingGraph, compiled: CompiledGraph) -> Self {
+    /// Assembles a decoder from an already-compiled graph. Crate-internal:
+    /// the windowed decoder uses this to build per-window-template decoders
+    /// whose [`CompiledGraph`] carries weights quantized against the *full*
+    /// circuit graph (see [`CompiledGraph::compile_with_weights`]).
+    pub(crate) fn from_parts(graph: DecodingGraph, compiled: CompiledGraph) -> Self {
         let (near, near_words) = build_near(&compiled);
         Self {
             graph,
@@ -424,7 +445,24 @@ impl UnionFindDecoder {
             near_words,
             memo: RwLock::new(HashMap::new()),
             memo_enabled: true,
+            track_reach: false,
         }
+    }
+
+    /// Makes every non-empty [`UnionFindDecoder::decode_into`] leave the
+    /// decode's *reach* — the bitset of edges that ever entered a frontier
+    /// list — in `scratch.edge_mask`, even when the result came from the
+    /// memoized composition path (the composed reach is the union of the
+    /// pieces' standalone reaches, which equals the joint decode's reach
+    /// because accepted compositions have pairwise disjoint pieces). Off by
+    /// default: maintaining the union costs O(edges/64) per composed decode,
+    /// which the flat batch hot path does not want to pay. The windowed
+    /// decoder enables it on window-template decoders, whose exactness check
+    /// intersects the reach with the template's clipped-neighborhood edges.
+    #[must_use]
+    pub(crate) fn with_reach_tracking(mut self, enabled: bool) -> Self {
+        self.track_reach = enabled;
+        self
     }
 
     /// The memo under its read lock; a poisoned lock is recovered (the memo
@@ -650,6 +688,16 @@ impl UnionFindDecoder {
                 .acc_mask
                 .resize(self.compiled.num_edges().div_ceil(64).max(1), 0);
         }
+        if self.track_reach {
+            // The reach contract: when this compose succeeds, edge_mask must
+            // hold the union of the piece reaches (on Missing/Overlap the
+            // partial union is discarded — a retry rebuilds it, and the full
+            // decode fallback resets edge_mask in `begin`).
+            scratch.edge_mask.clear();
+            scratch
+                .edge_mask
+                .resize(self.compiled.num_edges().div_ceil(64).max(1), 0);
+        }
         let mut observables = 0u64;
         let mut converged = true;
         scratch.correction.clear();
@@ -680,6 +728,11 @@ impl UnionFindDecoder {
                     unreachable!("accumulated mask is the union of prior piece masks");
                 }
                 for (a, &m) in scratch.acc_mask.iter_mut().zip(e.mask.iter()) {
+                    *a |= m;
+                }
+            }
+            if self.track_reach {
+                for (a, &m) in scratch.edge_mask.iter_mut().zip(e.mask.iter()) {
                     *a |= m;
                 }
             }

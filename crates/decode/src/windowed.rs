@@ -26,6 +26,43 @@
 //! * edges entirely inside the buffer are discarded; their defects are
 //!   re-decoded by the next window with one more window of look-ahead.
 //!
+//! # Window templates
+//!
+//! The space–time graph of a memory circuit is (mostly) time-translation
+//! invariant, so the cluster growth of one window step never needs the
+//! whole-circuit graph — only a slab of layers around the window. At
+//! construction the decoder compiles one **window template** per
+//! structurally distinct window position: a standalone
+//! [`crate::graph::CompiledGraph`] over the layers
+//! `[start − margin, start + commit + buffer + margin)` where
+//! `margin = commit + buffer + max_edge_layer_span`. Bulk windows of a
+//! uniform circuit all collapse onto a single template; head and tail
+//! windows, whose slabs are clipped by the circuit's ends, get their own
+//! boundary variants. The compilation contract:
+//!
+//! * **Compiled once** (at [`WindowedDecoder::new`]): the template's CSR
+//!   adjacency, its quantized growth weights — copied edge-for-edge from
+//!   the full circuit's compiled graph, so growth order is identical — and
+//!   the *unsafe* edge set: template edges incident to a rim node whose
+//!   neighborhood the slab clips.
+//! * **Rebased per window step**: only two integers — the window's first
+//!   detector id (subtracted from each defect before the template decode)
+//!   and the window's edge-id offset (added to each correction edge after
+//!   it). No per-step graph work happens.
+//! * **Memo sharing**: each template decoder carries its own PR 7
+//!   component memo keyed by *rebased* defect ids, so an identical local
+//!   defect pattern hits the same entry no matter which window, which
+//!   shot, or which thread produced it — this is what makes the streamed
+//!   hot path L1-resident.
+//!
+//! Exactness is checked, not assumed: template decodes track their *reach*
+//! (every edge that entered a frontier list) and a window step falls back
+//! to the whole-circuit decoder whenever the reach touches an unsafe edge.
+//! Growth is frontier-driven, so a decode whose reach stays on complete
+//! neighborhoods evolves in lockstep with the same decode on the full
+//! graph — the fallback therefore never changes a result, it only restores
+//! the pre-template cost for the rare cluster that outgrows its slab.
+//!
 //! # Streaming
 //!
 //! The same engine runs incrementally: [`WindowedDecoder::stream_push`]
@@ -37,10 +74,35 @@
 //! **bit-identical** — the property the streaming Monte-Carlo pipeline of
 //! [`crate::mc`] pins. Pending state per shot is the sparse projected
 //! syndrome of the open window only: O(window), not O(circuit).
+//!
+//! [`crate::mc`]'s shot-batched pipeline drives the third entry point,
+//! [`WindowedDecoder::stream_step_fired`]: the caller extracts each
+//! window's fired defects straight from the sampler's bitplanes and the
+//! decoder merges them (XOR) with the shot's pending projections — the
+//! same window steps again, in window-major order across a whole shot
+//! block.
 
-use crate::graph::DecodingGraph;
+use crate::fxhash::BuildFxHasher;
+use crate::graph::{CompiledGraph, DecodingGraph, Edge};
 use crate::unionfind::{UfScratch, UnionFindDecoder};
 use crate::Decoder;
+use raa_stabsim::dem::{DemError, DetectorErrorModel};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{PoisonError, RwLock};
+
+type StepMemo = HashMap<Box<[u32]>, StepEntry, BuildFxHasher>;
+
+/// Cap on memoized window steps per template, mirroring the inner
+/// decoder's component-memo bound; a full table is flushed wholesale.
+const STEP_MEMO_MAX_ENTRIES: usize = 1 << 14;
+
+/// Cap on distinct compiled window templates per decoder. A uniform
+/// circuit needs ~`2 × (margin / commit)` boundary variants plus one bulk
+/// template; a circuit whose windows keep producing new structures is not
+/// time-translation invariant and stops benefiting, so further windows
+/// simply fall back to the whole-circuit decoder.
+const MAX_TEMPLATES: usize = 32;
 
 /// Reusable working state for [`WindowedDecoder`] (shared across shots;
 /// the per-shot streaming state is [`WindowState`]).
@@ -50,6 +112,11 @@ pub struct WindowScratch {
     pub uf: UfScratch,
     /// Defects of the window currently being decoded.
     in_window: Vec<u32>,
+    /// `in_window` rebased to template-local detector ids.
+    rebased: Vec<u32>,
+    /// Slab-relative projections of the current template step, sorted and
+    /// XOR-collapsed before being applied and memoized.
+    toggles: Vec<u32>,
     /// Per-shot state used by the batch entry point.
     state: WindowState,
 }
@@ -75,6 +142,14 @@ impl WindowState {
     pub fn pending_defects(&self) -> usize {
         self.remaining.len()
     }
+
+    /// Accumulated observable flips of every correction committed so far.
+    /// After the final window step (`start` past the last layer) this is
+    /// the shot's prediction — what [`WindowedDecoder::stream_finish`]
+    /// returns.
+    pub fn committed_observables(&self) -> u64 {
+        self.observables
+    }
 }
 
 /// Toggles membership of `d` in the sorted defect list (XOR semantics —
@@ -88,6 +163,44 @@ fn toggle(remaining: &mut Vec<u32>, d: u32) {
     }
 }
 
+/// Geometry or layering problem reported by [`WindowedDecoder::try_new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WindowError {
+    /// `commit` was zero: the window would never advance.
+    ZeroCommit,
+    /// `buffer` was zero: every correction would commit with no look-ahead,
+    /// silently costing accuracy on every boundary-straddling error chain.
+    ZeroBuffer,
+    /// `commit + buffer` does not fit in the circuit: the decoder would
+    /// silently degenerate to whole-circuit (global) decoding.
+    WindowExceedsCircuit {
+        /// Requested window size (`commit + buffer`).
+        window: usize,
+        /// Layers actually present in the graph.
+        num_layers: usize,
+    },
+    /// The layer assignment cannot cover the graph's detectors (see
+    /// [`LayerAssignment::check`]).
+    Layering(String),
+}
+
+impl fmt::Display for WindowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroCommit => write!(f, "must commit at least one layer per window"),
+            Self::ZeroBuffer => write!(f, "window needs at least one buffer (look-ahead) layer"),
+            Self::WindowExceedsCircuit { window, num_layers } => write!(
+                f,
+                "window of {window} layers exceeds the circuit's {num_layers} layers: \
+                 decoding would silently fall back to whole-circuit decode"
+            ),
+            Self::Layering(msg) => write!(f, "layer assignment rejected the graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
+
 /// Assigns each detector to a time layer (e.g. its SE round).
 pub trait LayerAssignment {
     /// The layer index of detector `d`.
@@ -98,6 +211,21 @@ pub trait LayerAssignment {
     /// reject parameters that would silently misassign detectors.
     fn validate(&self, num_detectors: usize) {
         let _ = num_detectors;
+    }
+
+    /// Non-panicking form of [`LayerAssignment::validate`] used by
+    /// [`WindowedDecoder::try_new`]: returns the reason the layering cannot
+    /// cover `num_detectors` detectors, or `Ok(())`. The default accepts
+    /// anything.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a human-readable description of the
+    /// mismatch (e.g. a block size that does not divide the detector
+    /// count).
+    fn check(&self, num_detectors: usize) -> Result<(), String> {
+        let _ = num_detectors;
+        Ok(())
     }
 }
 
@@ -125,6 +253,111 @@ impl LayerAssignment for UniformLayers {
     fn validate(&self, num_detectors: usize) {
         raa_stabsim::validate_uniform_layers(num_detectors, self.detectors_per_layer);
     }
+
+    fn check(&self, num_detectors: usize) -> Result<(), String> {
+        if self.detectors_per_layer == 0 {
+            return Err("detectors_per_layer must be at least 1".into());
+        }
+        if !num_detectors.is_multiple_of(self.detectors_per_layer) {
+            return Err(format!(
+                "detector count {num_detectors} is not divisible by detectors_per_layer {}",
+                self.detectors_per_layer
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One compiled window template: a standalone decoder over a slab of
+/// layers, shared by every window position with the same local structure.
+#[derive(Debug)]
+struct WindowTemplate {
+    /// Union–find decoder over the slab's subgraph, with reach tracking on
+    /// and its own cross-window, cross-shot component memo.
+    decoder: UnionFindDecoder,
+    /// Bitset over template edges: incident to a rim node whose
+    /// neighborhood the slab clips. A decode whose reach touches this set
+    /// may diverge from the whole-circuit decode and must be redone on it.
+    unsafe_mask: Vec<u64>,
+    /// Fast path for bulk templates deep inside the circuit: no rim at all.
+    has_unsafe: bool,
+    /// Per template edge: its effect when it appears in a correction — the
+    /// observable mask to accumulate and the slab-relative node to project
+    /// forward (`u32::MAX` = none). Buffer-only edges are `{0, MAX}`,
+    /// i.e. no-ops. Precomputable because the commit boundary sits at a
+    /// fixed layer offset inside the slab (part of [`TemplateKey`]).
+    commit_ops: Vec<CommitOp>,
+    /// Whole-step memo: rebased window syndrome → step outcome. The full
+    /// outcome of a window step is a pure function of (template, rebased
+    /// defects), so repeats across shots and window positions — the common
+    /// case at physical error rates — skip the decode entirely.
+    memo: RwLock<StepMemo>,
+}
+
+impl Clone for WindowTemplate {
+    fn clone(&self) -> Self {
+        Self {
+            decoder: self.decoder.clone(),
+            unsafe_mask: self.unsafe_mask.clone(),
+            has_unsafe: self.has_unsafe,
+            commit_ops: self.commit_ops.clone(),
+            memo: RwLock::new(
+                self.memo
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+        }
+    }
+}
+
+/// Effect of one template edge on a window step's committed state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CommitOp {
+    /// Observables accumulated when this edge is in the correction (zero
+    /// for buffer-only edges, whose correction is provisional).
+    observables: u64,
+    /// Slab-relative id of the buffer-side endpoint a crossing edge
+    /// projects forward, or `u32::MAX` for none.
+    toggle: u32,
+}
+
+/// One memoized window-step outcome (see [`WindowTemplate::memo`]).
+#[derive(Debug, Clone)]
+struct StepEntry {
+    /// Observable delta committed by the step.
+    observables: u64,
+    /// Slab-relative defects projected past the commit boundary, sorted,
+    /// XOR-collapsed (a node projected twice cancels).
+    toggles: Box<[u32]>,
+}
+
+/// Binds one window position to its [`WindowTemplate`].
+#[derive(Debug, Clone, Copy)]
+struct TemplateInstance {
+    /// Index into `WindowedDecoder::templates`.
+    template: u32,
+    /// First full-circuit detector id of the slab; subtracted from defects
+    /// before the template decode and added back to projections.
+    node_base: u32,
+}
+
+/// Structural identity of a window slab, used to dedup templates across
+/// window positions. Two windows with equal keys and equal commit ops
+/// decode identically up to the constant node offset of
+/// [`TemplateInstance`].
+#[derive(PartialEq, Eq, Hash)]
+struct TemplateKey {
+    num_nodes: u32,
+    /// Layer offset of the window start inside the slab: head windows
+    /// truncate the slab below, shifting the commit boundary relative to
+    /// it, so they must not share a template with bulk windows even when
+    /// the edge structure happens to match.
+    window_offset: u32,
+    /// Per template edge: rebased endpoints (`u32::MAX` = boundary),
+    /// quantized growth weight, observable mask.
+    edges: Vec<(u32, u32, u32, u64)>,
+    unsafe_mask: Vec<u64>,
 }
 
 /// A sliding-window wrapper around the union–find decoder.
@@ -169,11 +402,24 @@ pub struct WindowedDecoder<L: LayerAssignment> {
     /// Additional look-ahead layers decoded but not committed.
     buffer: usize,
     num_layers: usize,
+    /// Compiled window templates (see the [module docs](self)); empty when
+    /// the window is global or the layering is not index-monotone.
+    templates: Vec<WindowTemplate>,
+    /// Per window position (`start / commit`): its template binding, or
+    /// `None` to decode that window on the whole-circuit graph.
+    instances: Vec<Option<TemplateInstance>>,
+    use_templates: bool,
 }
 
 impl<L: LayerAssignment> WindowedDecoder<L> {
     /// Builds a windowed decoder over `graph` with the given layering,
     /// committing `commit` layers per step with `buffer` look-ahead layers.
+    ///
+    /// This constructor is deliberately permissive about *geometry*: a
+    /// zero buffer and a window covering the whole circuit (the global
+    /// fallback) are accepted, because convergence studies sweep exactly
+    /// those regimes. Use [`WindowedDecoder::try_new`] to reject them with
+    /// a typed error instead.
     ///
     /// # Panics
     ///
@@ -183,17 +429,292 @@ impl<L: LayerAssignment> WindowedDecoder<L> {
     pub fn new(graph: DecodingGraph, layers: L, commit: usize, buffer: usize) -> Self {
         assert!(commit >= 1, "must commit at least one layer per window");
         layers.validate(graph.num_detectors());
+        Self::assemble(graph, layers, commit, buffer)
+    }
+
+    /// Like [`WindowedDecoder::new`], but validates the full window
+    /// geometry up front instead of panicking mid-stream or silently
+    /// constructing a degenerate decoder.
+    ///
+    /// # Errors
+    ///
+    /// * [`WindowError::ZeroCommit`] — the window would never advance.
+    /// * [`WindowError::ZeroBuffer`] — no look-ahead: every
+    ///   boundary-straddling error chain would be chopped.
+    /// * [`WindowError::Layering`] — `layers` cannot cover the graph's
+    ///   detectors ([`LayerAssignment::check`]).
+    /// * [`WindowError::WindowExceedsCircuit`] — `commit + buffer` exceeds
+    ///   the layer count, i.e. the "windowed" decoder would actually run
+    ///   whole-circuit decodes.
+    pub fn try_new(
+        graph: DecodingGraph,
+        layers: L,
+        commit: usize,
+        buffer: usize,
+    ) -> Result<Self, WindowError> {
+        if commit == 0 {
+            return Err(WindowError::ZeroCommit);
+        }
+        if buffer == 0 {
+            return Err(WindowError::ZeroBuffer);
+        }
+        layers
+            .check(graph.num_detectors())
+            .map_err(WindowError::Layering)?;
+        let this = Self::assemble(graph, layers, commit, buffer);
+        if this.is_global() {
+            return Err(WindowError::WindowExceedsCircuit {
+                window: commit + buffer,
+                num_layers: this.num_layers,
+            });
+        }
+        Ok(this)
+    }
+
+    fn assemble(graph: DecodingGraph, layers: L, commit: usize, buffer: usize) -> Self {
         let num_layers = (0..graph.num_detectors() as u32)
             .map(|d| layers.layer_of(d))
             .max()
             .map_or(0, |m| m + 1);
+        let inner = UnionFindDecoder::new(graph);
+        let (templates, instances) =
+            Self::build_templates(&inner, &layers, commit, buffer, num_layers);
         Self {
-            inner: UnionFindDecoder::new(graph),
+            inner,
             layers,
             commit,
             buffer,
             num_layers,
+            templates,
+            instances,
+            use_templates: true,
         }
+    }
+
+    /// En/disables the compiled window templates (on by default). Decoding
+    /// outcomes are identical either way — templates change throughput
+    /// only; the off position exists for A/B testing and as a reference
+    /// for the equivalence tests.
+    #[must_use]
+    pub fn with_templates(mut self, enabled: bool) -> Self {
+        self.use_templates = enabled;
+        self
+    }
+
+    /// Compiles the window templates: one per structurally distinct window
+    /// slab (see the [module docs](self)). Returns no templates when the
+    /// window is global (nothing to slide) or when the layering is not
+    /// monotone in detector index (slabs would not be contiguous id
+    /// ranges).
+    fn build_templates(
+        inner: &UnionFindDecoder,
+        layers: &L,
+        commit: usize,
+        buffer: usize,
+        num_layers: usize,
+    ) -> (Vec<WindowTemplate>, Vec<Option<TemplateInstance>>) {
+        let mut templates = Vec::new();
+        let mut instances = Vec::new();
+        let cb = commit + buffer;
+        if num_layers <= cb {
+            return (templates, instances);
+        }
+        let graph = inner.graph();
+        let compiled = inner.compiled();
+        let nd = graph.num_detectors();
+        // Contiguous slabs need layer(d) monotone in d.
+        let mut layer_of_d = Vec::with_capacity(nd);
+        let mut prev = 0usize;
+        for d in 0..nd as u32 {
+            let l = layers.layer_of(d);
+            if l < prev || l >= num_layers {
+                return (templates, instances);
+            }
+            prev = l;
+            layer_of_d.push(l);
+        }
+        // layer_start[l] = first detector id in layer >= l.
+        let mut layer_start = vec![0usize; num_layers + 1];
+        let mut cursor = 0usize;
+        for (l, s) in layer_start.iter_mut().enumerate() {
+            while cursor < nd && layer_of_d[cursor] < l {
+                cursor += 1;
+            }
+            *s = cursor;
+        }
+        // Per-edge node bounds and the largest layer span of any edge: the
+        // slab margin must cover a whole extra window plus that span, so
+        // every node a window's clusters can reach without touching the
+        // rim has its complete neighborhood inside the slab.
+        let edges = graph.edges();
+        let mut span = 0usize;
+        let mut bounds = Vec::with_capacity(edges.len());
+        for e in edges {
+            let (lo, hi) = match e.v {
+                Some(v) => (e.u.min(v), e.u.max(v)),
+                None => (e.u, e.u),
+            };
+            span = span.max(layer_of_d[hi as usize] - layer_of_d[lo as usize]);
+            bounds.push((lo, hi));
+        }
+        let margin = cb + span;
+        let mut keys: HashMap<TemplateKey, u32> = HashMap::new();
+        let mut ids: Vec<u32> = Vec::new();
+        for wi in 0..num_layers.div_ceil(commit) {
+            let s = wi * commit;
+            let tlo = s.saturating_sub(margin);
+            let thi = (s + cb + margin).min(num_layers);
+            let node_lo = layer_start[tlo] as u32;
+            let node_hi = layer_start[thi] as u32;
+            let nt = (node_hi - node_lo) as usize;
+            if nt == 0 {
+                instances.push(None);
+                continue;
+            }
+            ids.clear();
+            ids.extend(bounds.iter().enumerate().filter_map(|(ei, &(lo, hi))| {
+                (lo >= node_lo && hi < node_hi).then_some(ei as u32)
+            }));
+            // A slab node is complete when the slab holds its whole
+            // incident list; edges touching an incomplete (rim) node form
+            // the unsafe set.
+            let mut incident_count = vec![0u32; nt];
+            for &ei in &ids {
+                let e = &edges[ei as usize];
+                incident_count[(e.u - node_lo) as usize] += 1;
+                if let Some(v) = e.v {
+                    incident_count[(v - node_lo) as usize] += 1;
+                }
+            }
+            let complete: Vec<bool> = incident_count
+                .iter()
+                .enumerate()
+                .map(|(n, &c)| c as usize == graph.incident(node_lo + n as u32).len())
+                .collect();
+            let words = ids.len().div_ceil(64).max(1);
+            let mut unsafe_mask = vec![0u64; words];
+            for (ti, &ei) in ids.iter().enumerate() {
+                let e = &edges[ei as usize];
+                let mut clipped = !complete[(e.u - node_lo) as usize];
+                if let Some(v) = e.v {
+                    clipped |= !complete[(v - node_lo) as usize];
+                }
+                if clipped {
+                    unsafe_mask[ti >> 6] |= 1 << (ti & 63);
+                }
+            }
+            // Per-edge commit effect for THIS window position: observables
+            // to accumulate and the projection endpoint, relative to the
+            // slab. Structurally equal windows must also agree on these
+            // (their commit boundary could still cut the slab differently
+            // under an exotic layering), so they double as a dedup check.
+            let commit_end = s + commit;
+            let ops: Vec<CommitOp> = ids
+                .iter()
+                .map(|&ei| {
+                    let e = &edges[ei as usize];
+                    let lu = layer_of_d[e.u as usize];
+                    let lv = e.v.map_or(lu, |v| layer_of_d[v as usize]);
+                    if lu.min(lv) >= commit_end {
+                        return CommitOp {
+                            observables: 0,
+                            toggle: u32::MAX,
+                        };
+                    }
+                    let toggle = if lu >= commit_end {
+                        e.u - node_lo
+                    } else {
+                        match e.v {
+                            Some(v) if lv >= commit_end => v - node_lo,
+                            _ => u32::MAX,
+                        }
+                    };
+                    CommitOp {
+                        observables: e.observables,
+                        toggle,
+                    }
+                })
+                .collect();
+            let key = TemplateKey {
+                num_nodes: nt as u32,
+                window_offset: (s - tlo) as u32,
+                edges: ids
+                    .iter()
+                    .map(|&ei| {
+                        let e = &edges[ei as usize];
+                        (
+                            e.u - node_lo,
+                            e.v.map_or(u32::MAX, |v| v - node_lo),
+                            compiled.weight(ei),
+                            e.observables,
+                        )
+                    })
+                    .collect(),
+                unsafe_mask: unsafe_mask.clone(),
+            };
+            if let Some(&t) = keys.get(&key) {
+                // Structural repeat: bind it to the existing template when
+                // the commit boundary cuts the slab the same way (always
+                // true for round-by-round DEMs; anything else decodes on
+                // the whole-circuit graph).
+                let ops_ok = templates[t as usize].commit_ops == ops;
+                instances.push(ops_ok.then_some(TemplateInstance {
+                    template: t,
+                    node_base: node_lo,
+                }));
+                continue;
+            }
+            if templates.len() >= MAX_TEMPLATES {
+                instances.push(None);
+                continue;
+            }
+            // New structure: compile a template decoder for the slab. The
+            // synthetic DEM replays the slab's mechanisms with rebased
+            // detector ids, so the template's edge order, adjacency order
+            // and float weights reproduce the full graph's exactly; the
+            // growth quanta are copied outright (quantization normalizes
+            // by the *global* max weight, which a slab cannot recompute).
+            let errors = ids
+                .iter()
+                .map(|&ei| {
+                    let e = &edges[ei as usize];
+                    DemError {
+                        probability: e.probability,
+                        detectors: match e.v {
+                            Some(v) => vec![e.u - node_lo, v - node_lo],
+                            None => vec![e.u - node_lo],
+                        },
+                        observables: e.observables,
+                    }
+                })
+                .collect();
+            let dem = DetectorErrorModel {
+                num_detectors: nt,
+                num_observables: graph.num_observables(),
+                errors,
+            };
+            let tgraph = DecodingGraph::from_dem(&dem)
+                .expect("template mechanisms are graphlike by construction");
+            let weights = ids.iter().map(|&ei| compiled.weight(ei)).collect();
+            let tcompiled =
+                CompiledGraph::compile_with_weights(&tgraph, weights, compiled.is_uniform());
+            let decoder = UnionFindDecoder::from_parts(tgraph, tcompiled).with_reach_tracking(true);
+            let has_unsafe = unsafe_mask.iter().any(|&w| w != 0);
+            let t = templates.len() as u32;
+            keys.insert(key, t);
+            templates.push(WindowTemplate {
+                decoder,
+                unsafe_mask,
+                has_unsafe,
+                commit_ops: ops,
+                memo: RwLock::new(StepMemo::default()),
+            });
+            instances.push(Some(TemplateInstance {
+                template: t,
+                node_base: node_lo,
+            }));
+        }
+        (templates, instances)
     }
 
     /// Number of time layers seen in the graph.
@@ -209,6 +730,16 @@ impl<L: LayerAssignment> WindowedDecoder<L> {
     /// The layer assignment.
     pub fn layers(&self) -> &L {
         &self.layers
+    }
+
+    /// Layers committed per window step.
+    pub fn commit(&self) -> usize {
+        self.commit
+    }
+
+    /// Look-ahead layers decoded but not committed per window step.
+    pub fn buffer(&self) -> usize {
+        self.buffer
     }
 
     /// Whether the window covers the whole circuit, in which case every
@@ -283,7 +814,7 @@ impl<L: LayerAssignment> WindowedDecoder<L> {
         while state.start < self.num_layers
             && state.start + self.commit + self.buffer <= available_layers
         {
-            self.step(state, scratch);
+            self.step(state, scratch, None);
         }
     }
 
@@ -294,44 +825,98 @@ impl<L: LayerAssignment> WindowedDecoder<L> {
             return self.inner.predict_into(&state.remaining, &mut scratch.uf);
         }
         while state.start < self.num_layers {
-            self.step(state, scratch);
+            self.step(state, scratch, None);
         }
         state.observables
     }
 
+    /// Runs exactly one window step for a shot whose window defects the
+    /// caller extracted directly (window-major streaming: [`crate::mc`]
+    /// pulls them from the sampler's shot-major bitplanes). `fired` must
+    /// be sorted ascending, duplicate-free, and confined to the open
+    /// window's layers `[state.start, state.start + commit + buffer)`;
+    /// it is XOR-merged with the shot's pending projected defects — the
+    /// same merge [`WindowedDecoder::stream_push`]'s insert-then-toggle
+    /// order produces, so the two drivers are bit-identical. Not
+    /// available in the global-fallback regime (use
+    /// [`WindowedDecoder::decode_windowed_into`]).
+    pub fn stream_step_fired(
+        &self,
+        state: &mut WindowState,
+        fired: &[u32],
+        scratch: &mut WindowScratch,
+    ) {
+        debug_assert!(
+            !self.is_global(),
+            "window-major stepping needs a sliding window"
+        );
+        debug_assert!(
+            state.start < self.num_layers,
+            "shot already fully committed"
+        );
+        self.step(state, scratch, Some(fired));
+    }
+
     /// One window step: decode `[start, start + commit + buffer)`, commit
     /// the correction's first `commit` layers, project crossing edges.
-    fn step(&self, state: &mut WindowState, scratch: &mut WindowScratch) {
+    /// `fired` optionally carries this window's externally extracted
+    /// defects (see [`WindowedDecoder::stream_step_fired`]).
+    fn step(&self, state: &mut WindowState, scratch: &mut WindowScratch, fired: Option<&[u32]>) {
         let start = state.start;
         let commit_end = start + self.commit;
         let window_end = commit_end + self.buffer;
+        let in_range = |d: &u32| {
+            let l = self.layers.layer_of(*d);
+            l >= start && l < window_end
+        };
         scratch.in_window.clear();
-        scratch
-            .in_window
-            .extend(state.remaining.iter().copied().filter(|&d| {
-                let l = self.layers.layer_of(d);
-                l >= start && l < window_end
-            }));
-        if !scratch.in_window.is_empty() {
+        match fired {
+            None => scratch
+                .in_window
+                .extend(state.remaining.iter().copied().filter(|d| in_range(d))),
+            Some(f) => {
+                // Sorted XOR-merge of the fresh window defects with the
+                // pending projections: a projection onto a detector that
+                // fired cancels it, exactly as `toggle` would have.
+                let mut rem = state
+                    .remaining
+                    .iter()
+                    .copied()
+                    .filter(|d| in_range(d))
+                    .peekable();
+                let mut new = f.iter().copied().peekable();
+                loop {
+                    match (rem.peek().copied(), new.peek().copied()) {
+                        (None, None) => break,
+                        (Some(a), None) => {
+                            scratch.in_window.push(a);
+                            rem.next();
+                        }
+                        (None, Some(b)) => {
+                            scratch.in_window.push(b);
+                            new.next();
+                        }
+                        (Some(a), Some(b)) => {
+                            if a < b {
+                                scratch.in_window.push(a);
+                                rem.next();
+                            } else if b < a {
+                                scratch.in_window.push(b);
+                                new.next();
+                            } else {
+                                rem.next();
+                                new.next();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !scratch.in_window.is_empty() && !self.template_step(state, scratch, start) {
             self.inner.decode_into(&scratch.in_window, &mut scratch.uf);
             let edges = self.inner.graph().edges();
             for &ei in scratch.uf.correction() {
-                let e = &edges[ei as usize];
-                let lu = self.layers.layer_of(e.u);
-                let lv = e.v.map_or(lu, |v| self.layers.layer_of(v));
-                if lu.min(lv) >= commit_end {
-                    continue; // entirely in the buffer: re-decoded later
-                }
-                state.observables ^= e.observables;
-                // A crossing edge hands its buffer-side endpoint to the
-                // next window as a projected defect.
-                if lu >= commit_end {
-                    toggle(&mut state.remaining, e.u);
-                } else if let Some(v) = e.v {
-                    if lv >= commit_end {
-                        toggle(&mut state.remaining, v);
-                    }
-                }
+                self.commit_edge(state, commit_end, &edges[ei as usize]);
             }
         }
         // Defects of the committed region are consumed (matched or
@@ -341,6 +926,121 @@ impl<L: LayerAssignment> WindowedDecoder<L> {
             .remaining
             .retain(|&d| layers.layer_of(d) >= commit_end);
         state.start = commit_end;
+    }
+
+    /// Decodes the current window on its compiled template, if this window
+    /// position has one and the decode stays clear of the slab rim.
+    /// Returns whether the step was fully handled (correction committed).
+    ///
+    /// The step outcome — observable delta plus projected defects — is a
+    /// pure function of the rebased window syndrome, so it is memoized per
+    /// template: a repeated syndrome (across shots, window positions and
+    /// batches) costs one hash lookup instead of a decode.
+    fn template_step(
+        &self,
+        state: &mut WindowState,
+        scratch: &mut WindowScratch,
+        start: usize,
+    ) -> bool {
+        if !self.use_templates {
+            return false;
+        }
+        debug_assert_eq!(start % self.commit, 0);
+        let Some(inst) = self.instances.get(start / self.commit).copied().flatten() else {
+            return false;
+        };
+        let tpl = &self.templates[inst.template as usize];
+        let nt = tpl.decoder.graph().num_detectors() as u32;
+        scratch.rebased.clear();
+        for &d in &scratch.in_window {
+            debug_assert!(d >= inst.node_base, "window defect below its slab");
+            let reb = d - inst.node_base;
+            debug_assert!(reb < nt, "window defect above its slab");
+            scratch.rebased.push(reb);
+        }
+        {
+            let memo = tpl.memo.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(e) = memo.get(scratch.rebased.as_slice()) {
+                state.observables ^= e.observables;
+                for &t in e.toggles.iter() {
+                    toggle(&mut state.remaining, inst.node_base + t);
+                }
+                return true;
+            }
+        }
+        tpl.decoder.decode_into(&scratch.rebased, &mut scratch.uf);
+        if tpl.has_unsafe && scratch.uf.reach_intersects(&tpl.unsafe_mask) {
+            // The clusters reached a clipped neighborhood: only the
+            // whole-circuit decode is authoritative out there. Never
+            // memoized — the outcome depends on graph beyond the slab.
+            return false;
+        }
+        // Apply the correction through the template's precompiled commit
+        // ops, recording the outcome for the memo.
+        let mut observables = 0u64;
+        scratch.toggles.clear();
+        for &tei in scratch.uf.correction() {
+            let op = tpl.commit_ops[tei as usize];
+            observables ^= op.observables;
+            if op.toggle != u32::MAX {
+                scratch.toggles.push(op.toggle);
+            }
+        }
+        // XOR-collapse: projecting the same node an even number of times
+        // cancels (two crossing edges sharing a buffer endpoint).
+        scratch.toggles.sort_unstable();
+        let mut w = 0usize;
+        let mut i = 0usize;
+        while i < scratch.toggles.len() {
+            let v = scratch.toggles[i];
+            let mut run = 1usize;
+            while i + run < scratch.toggles.len() && scratch.toggles[i + run] == v {
+                run += 1;
+            }
+            if run % 2 == 1 {
+                scratch.toggles[w] = v;
+                w += 1;
+            }
+            i += run;
+        }
+        scratch.toggles.truncate(w);
+        state.observables ^= observables;
+        for &t in &scratch.toggles {
+            toggle(&mut state.remaining, inst.node_base + t);
+        }
+        let mut memo = tpl.memo.write().unwrap_or_else(PoisonError::into_inner);
+        if memo.len() >= STEP_MEMO_MAX_ENTRIES {
+            memo.clear();
+        }
+        memo.insert(
+            scratch.rebased.as_slice().into(),
+            StepEntry {
+                observables,
+                toggles: scratch.toggles.as_slice().into(),
+            },
+        );
+        true
+    }
+
+    /// Commits one correction edge: accumulate its observables unless it
+    /// lies entirely in the buffer, and project a crossing edge's
+    /// buffer-side endpoint forward.
+    fn commit_edge(&self, state: &mut WindowState, commit_end: usize, e: &Edge) {
+        let lu = self.layers.layer_of(e.u);
+        let lv = e.v.map_or(lu, |v| self.layers.layer_of(v));
+        if lu.min(lv) >= commit_end {
+            return; // entirely in the buffer: re-decoded later
+        }
+        state.observables ^= e.observables;
+        // A crossing edge hands its buffer-side endpoint to the next
+        // window as a projected defect.
+        if lu >= commit_end {
+            toggle(&mut state.remaining, e.u);
+        } else if let Some(v) = e.v {
+            if lv >= commit_end {
+                toggle(&mut state.remaining, v);
+            }
+        }
     }
 }
 
@@ -538,6 +1238,61 @@ mod tests {
     }
 
     #[test]
+    fn templates_change_throughput_not_outcomes() {
+        // The compiled window templates and the whole-circuit window path
+        // must agree shot for shot — including head and tail windows.
+        let p = 0.06;
+        let c = repetition(5, 14, p);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let sampler = raa_stabsim::DemSampler::new(&dem);
+        let mut syndromes = raa_stabsim::SyndromeBatch::default();
+        let mut masks = Vec::new();
+        sampler.sample_syndromes_into(
+            500,
+            &mut StdRng::seed_from_u64(17),
+            &mut syndromes,
+            &mut masks,
+        );
+        for (commit, buffer) in [(1usize, 1usize), (1, 2), (2, 3), (3, 2)] {
+            let with = build(&c, commit, buffer, 4);
+            assert!(
+                !with.templates.is_empty(),
+                "uniform circuit must compile templates (commit {commit}, buffer {buffer})"
+            );
+            let without = build(&c, commit, buffer, 4).with_templates(false);
+            let mut s_with = WindowScratch::default();
+            let mut s_without = WindowScratch::default();
+            let mut defects = Vec::new();
+            for s in 0..syndromes.num_shots() {
+                syndromes.fired_into(s, &mut defects);
+                assert_eq!(
+                    with.decode_windowed_into(&defects, &mut s_with),
+                    without.decode_windowed_into(&defects, &mut s_without),
+                    "shot {s}, commit {commit}, buffer {buffer}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_positions_share_the_bulk_template() {
+        // Time-translation invariance: the interior windows of a deep
+        // uniform circuit must all bind to one template; only head/tail
+        // boundary variants may add more.
+        let c = repetition(5, 40, 0.01);
+        let w = build(&c, 2, 3, 4);
+        assert!(!w.templates.is_empty());
+        let bound = w.instances.iter().filter(|i| i.is_some()).count();
+        assert_eq!(bound, w.instances.len(), "every window should bind");
+        assert!(
+            w.templates.len() < w.instances.len() / 2,
+            "{} templates for {} windows: dedup failed",
+            w.templates.len(),
+            w.instances.len()
+        );
+    }
+
+    #[test]
     fn pending_state_stays_window_sized() {
         // The streaming session's per-shot memory is the projected syndrome
         // of the open window — it must not accumulate across a deep shot.
@@ -579,6 +1334,44 @@ mod tests {
             }
             w.stream_finish(&mut state, &mut scratch);
         }
+    }
+
+    #[test]
+    fn try_new_reports_each_geometry_error() {
+        let c = repetition(5, 10, 0.01);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let (graph, _) = DecodingGraph::from_dem_decomposed(&dem);
+        let layers = UniformLayers {
+            detectors_per_layer: 4,
+        };
+        let g = || graph.clone();
+        assert_eq!(
+            WindowedDecoder::try_new(g(), layers, 0, 2).err(),
+            Some(WindowError::ZeroCommit)
+        );
+        assert_eq!(
+            WindowedDecoder::try_new(g(), layers, 2, 0).err(),
+            Some(WindowError::ZeroBuffer)
+        );
+        // 11 layers: a 6+6 window cannot slide.
+        assert_eq!(
+            WindowedDecoder::try_new(g(), layers, 6, 6).err(),
+            Some(WindowError::WindowExceedsCircuit {
+                window: 12,
+                num_layers: 11
+            })
+        );
+        // 44 detectors don't split into layers of 3.
+        let bad = UniformLayers {
+            detectors_per_layer: 3,
+        };
+        assert!(matches!(
+            WindowedDecoder::try_new(g(), bad, 2, 2),
+            Err(WindowError::Layering(_))
+        ));
+        // And the happy path still constructs a sliding decoder.
+        let w = WindowedDecoder::try_new(g(), layers, 2, 3).expect("valid geometry");
+        assert!(!w.is_global());
     }
 
     #[test]

@@ -200,7 +200,9 @@ pub struct RunTiming {
 /// Panics if [`DecoderChoice::Windowed`] is requested for a scenario
 /// without uniform time layering (anything but memory or deep-CNOT), if
 /// `streaming` is set without a windowed decoder, without the DEM sampler,
-/// or on an unlayered scenario, or if the decode thread pool cannot be
+/// on an unlayered scenario, or with a degenerate window geometry (zero
+/// buffer, or a window covering the whole circuit — rejected via
+/// [`raa_decode::WindowError`]), or if the decode thread pool cannot be
 /// built (see [`try_run`] for the fallible form).
 pub fn run(spec: &ExperimentSpec) -> ExperimentRecord {
     run_timed(spec).0
@@ -266,22 +268,26 @@ pub fn try_run_timed(spec: &ExperimentSpec) -> Result<(ExperimentRecord, RunTimi
             let detectors_per_layer = spec.scenario.detectors_per_layer(spec.distance).expect(
                 "windowed decoding requires a uniformly layered scenario (memory or deep-CNOT)",
             );
-            let decoder = WindowedDecoder::new(
-                graph,
-                UniformLayers {
-                    detectors_per_layer,
-                },
-                commit,
-                buffer,
-            );
+            let layers = UniformLayers {
+                detectors_per_layer,
+            };
             if spec.streaming {
                 assert!(
                     matches!(spec.sampler, SamplerChoice::Dem),
                     "streaming decoding samples the time-sliced DEM; set the DEM sampler"
                 );
+                // Streaming promises O(window) resident state, which a
+                // degenerate geometry (no advance, no look-ahead, or a
+                // window that swallows the circuit) silently breaks — the
+                // validating constructor turns that into a typed error.
+                let decoder = WindowedDecoder::try_new(graph, layers, commit, buffer)
+                    .unwrap_or_else(|e| panic!("streaming windowed decode rejected: {e}"));
                 let sampler = StreamingDemSampler::new(&dem, detectors_per_layer);
                 timed(&|| decode_budget_streamed(&sampler, &decoder, spec, decode_seed))
             } else {
+                // The batch path stays permissive: convergence sweeps
+                // legitimately drive buffer 0 and global-window points.
+                let decoder = WindowedDecoder::new(graph, layers, commit, buffer);
                 timed(&|| decode_budget(&circuit, &dem, &decoder, spec, decode_seed))
             }
         }
@@ -633,6 +639,32 @@ mod tests {
     #[should_panic(expected = "requires the windowed decoder")]
     fn streaming_rejected_without_windowed_decoder() {
         let mut spec = memory_spec();
+        spec.streaming = true;
+        run(&spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming windowed decode rejected")]
+    fn streaming_rejected_with_zero_buffer() {
+        let mut spec = memory_spec();
+        spec.decoder = DecoderChoice::Windowed {
+            commit: 2,
+            buffer: 0,
+        };
+        spec.streaming = true;
+        run(&spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming windowed decode rejected")]
+    fn streaming_rejected_with_global_window() {
+        let mut spec = memory_spec();
+        // Way past the circuit's layer count: a "windowed" decode that
+        // would actually hold every layer resident.
+        spec.decoder = DecoderChoice::Windowed {
+            commit: 2,
+            buffer: 10_000,
+        };
         spec.streaming = true;
         run(&spec);
     }

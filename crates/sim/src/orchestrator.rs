@@ -71,7 +71,8 @@ use crate::engine;
 use crate::error::{OrchestratorError, PoisonedPoint};
 use crate::lock::{retry_io, Backoff, FileLock, LockError, LockOptions};
 use crate::record::ExperimentRecord;
-use crate::spec::{ExperimentSpec, Rounds, Scenario, ShotBudget, SweepGrid};
+use crate::spec::{DecoderChoice, ExperimentSpec, Rounds, Scenario, ShotBudget, SweepGrid};
+use raa_decode::WindowError;
 use rayon::prelude::*;
 use std::cell::Cell;
 use std::fs;
@@ -743,6 +744,27 @@ impl Orchestrator {
         spec: &ExperimentSpec,
         single_threaded: bool,
     ) -> Result<PointOutcome, OrchestratorError> {
+        // Pre-flight the graph-free part of the engine's streaming-window
+        // validation (the rest needs the built circuit): a degenerate
+        // geometry poisons the point here, before it takes an entry lock
+        // or burns a worker on an engine panic.
+        if spec.streaming {
+            if let DecoderChoice::Windowed { commit, buffer } = spec.decoder {
+                let degenerate = match (commit, buffer) {
+                    (0, _) => Some(WindowError::ZeroCommit),
+                    (_, 0) => Some(WindowError::ZeroBuffer),
+                    _ => None,
+                };
+                if let Some(e) = degenerate {
+                    return Ok(PointOutcome::Poisoned(PoisonedPoint {
+                        index,
+                        name: spec.name.clone(),
+                        key: spec_cache_key(spec),
+                        message: format!("streaming windowed decode rejected: {e}"),
+                    }));
+                }
+            }
+        }
         let mut replaced_corrupt = false;
         let mut lock = None;
         if let Some(cache) = &self.cache {
@@ -1138,6 +1160,34 @@ mod tests {
             rounds: Rounds::Fixed(0),
         };
         spec
+    }
+
+    #[test]
+    fn degenerate_streaming_window_poisons_before_the_engine_runs() {
+        let mut spec = small_grid().specs().remove(0);
+        spec.name = "orch/zero-buffer-stream".into();
+        spec.decoder = DecoderChoice::Windowed {
+            commit: 2,
+            buffer: 0,
+        };
+        spec.streaming = true;
+        let report = Orchestrator::new()
+            .with_panic_isolation(true)
+            .run_specs(&[spec])
+            .unwrap();
+        assert_eq!(report.poisoned.len(), 1);
+        assert!(
+            report.poisoned[0]
+                .message
+                .contains("streaming windowed decode rejected"),
+            "{}",
+            report.poisoned[0].message
+        );
+        assert!(
+            report.poisoned[0].message.contains("look-ahead"),
+            "the typed WindowError must surface: {}",
+            report.poisoned[0].message
+        );
     }
 
     #[test]

@@ -166,6 +166,82 @@ impl StreamingScratch {
     }
 }
 
+/// A ring of the last `capacity` finalized layer bitplanes of a streaming
+/// batch, with per-layer rebasing metadata: extraction adds each layer's
+/// global detector-id base back, so consumers see full-circuit detector
+/// ids. This is what lets a window-major decode loop revisit the shot-major
+/// bits of every layer in an open window after the sampler has already
+/// rolled past them — resident memory stays `capacity × shots × dpl` bits,
+/// bounded by the window, never the circuit depth.
+#[derive(Debug, Clone, Default)]
+pub struct LayerRing {
+    /// `slots[l % capacity]` holds layer `l`'s shot-major bitplane.
+    slots: Vec<SyndromeBatch>,
+    capacity: usize,
+    /// Layers `stored - min(stored, capacity) .. stored` are resident.
+    stored: usize,
+    detectors_per_layer: usize,
+}
+
+impl LayerRing {
+    /// Clears the ring for a new batch retaining `capacity` layers of
+    /// `detectors_per_layer` detectors each (allocations are reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn reset(&mut self, capacity: usize, detectors_per_layer: usize) {
+        assert!(capacity >= 1, "ring must retain at least one layer");
+        if self.slots.len() < capacity {
+            self.slots.resize_with(capacity, SyndromeBatch::default);
+        }
+        self.capacity = capacity;
+        self.stored = 0;
+        self.detectors_per_layer = detectors_per_layer;
+    }
+
+    /// Stores the next finalized layer's bitplane (layers must arrive in
+    /// order `0, 1, 2, …`), evicting the layer `capacity` steps back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of order.
+    pub fn store(&mut self, layer: usize, bits: &SyndromeBatch) {
+        assert_eq!(layer, self.stored, "layers must be stored in order");
+        self.slots[layer % self.capacity].clone_from(bits);
+        self.stored = layer + 1;
+    }
+
+    /// Appends shot `s`'s fired detectors of layers `lo..hi` to `out`,
+    /// rebased to full-circuit detector ids (`layer × dpl + local`),
+    /// ascending. `scratch` is a reusable per-layer extraction buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any requested layer is not resident (not yet stored, or
+    /// already evicted).
+    pub fn extract_into(
+        &self,
+        s: usize,
+        lo: usize,
+        hi: usize,
+        scratch: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) {
+        assert!(
+            hi <= self.stored && self.stored - lo <= self.capacity,
+            "layers {lo}..{hi} not resident (stored {}, capacity {})",
+            self.stored,
+            self.capacity
+        );
+        for l in lo..hi {
+            self.slots[l % self.capacity].fired_into(s, scratch);
+            let base = (l * self.detectors_per_layer) as u32;
+            out.extend(scratch.iter().map(|&d| d + base));
+        }
+    }
+}
+
 /// A detector error model compiled for **streaming** Monte-Carlo sampling:
 /// one compiled [`DemSampler`] per time slice, emitting one finalized layer
 /// of shot-major syndrome bits at a time with O(window) resident memory.

@@ -58,7 +58,7 @@ pub use circuit::{Circuit, MeasRecord, OpKind, Operation};
 pub use dem::{DemError, DetectorErrorModel};
 pub use dem_sampler::DemSampler;
 pub use dem_slice::{
-    concat_slices, slice_dem_by_layer, validate_uniform_layers, StreamingDemSampler,
+    concat_slices, slice_dem_by_layer, validate_uniform_layers, LayerRing, StreamingDemSampler,
     StreamingScratch,
 };
 pub use frame::{DetectorSamples, FrameSim, MeasurementFlips, SyndromeBatch};

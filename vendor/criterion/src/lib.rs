@@ -18,7 +18,11 @@
 //!   run is a smoke test (seconds, not minutes);
 //! * `RAA_BENCH_JSON=<path>` — after the run, write a machine-readable
 //!   report mapping each benchmark name to its median per-iteration time
-//!   in nanoseconds (used to record `BENCH_<n>.json` trajectories).
+//!   in nanoseconds (used to record `BENCH_<n>.json` trajectories);
+//! * `RAA_BENCH_BASELINE=<path>` — after the run, verify every benchmark
+//!   named in that earlier `BENCH_<n>.json` produced a measurement, and
+//!   fail the process loudly otherwise — a silently vanished entry would
+//!   read as "no regression" forever.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -50,6 +54,66 @@ pub fn write_json_report() {
     } else {
         println!("wrote bench report ({} entries) to {path}", results.len());
     }
+}
+
+/// Benchmark names present in a baseline report but absent from
+/// `current`. The baseline is parsed with the same line shape
+/// [`write_json_report`] emits (`  "name": ns,`), so any earlier
+/// `BENCH_<n>.json` works as input.
+fn missing_from_baseline(baseline: &str, current: &[(String, u128)]) -> Vec<String> {
+    let mut missing = Vec::new();
+    for line in baseline.lines() {
+        let Some(rest) = line.trim().strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, _)) = rest.rsplit_once('"') else {
+            continue;
+        };
+        if !current.iter().any(|(n, _)| n == name) {
+            missing.push(name.to_string());
+        }
+    }
+    missing
+}
+
+/// Fails the run loudly when a benchmark tracked in the
+/// `RAA_BENCH_BASELINE` report produced no measurement this run: a
+/// renamed or deleted bench entry would otherwise vanish from the next
+/// `BENCH_<n>.json` and read as "no regression" forever. Called by
+/// [`criterion_main!`] after [`write_json_report`]; silent when the
+/// variable is unset. Run without a CLI filter when the baseline check is
+/// on — a filtered run legitimately skips benchmarks and will fail here.
+pub fn check_baseline_report() {
+    let Ok(path) = std::env::var("RAA_BENCH_BASELINE") else {
+        return;
+    };
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("RAA_BENCH_BASELINE: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let results = RESULTS.lock().unwrap();
+    let missing = missing_from_baseline(&baseline, &results);
+    if !missing.is_empty() {
+        eprintln!(
+            "RAA_BENCH_BASELINE: {} benchmark(s) recorded in {path} produced no measurement:",
+            missing.len()
+        );
+        for name in &missing {
+            eprintln!("  - {name}");
+        }
+        eprintln!("renaming or deleting a bench entry must be a deliberate baseline update");
+        std::process::exit(1);
+    }
+    println!(
+        "baseline coverage ok: all {} benchmark(s) in {path} were measured",
+        baseline
+            .lines()
+            .filter(|l| l.trim().starts_with('"'))
+            .count()
+    );
 }
 
 /// Re-export matching `criterion::black_box`.
@@ -309,14 +373,17 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench binary's `main`, as in real criterion. Shim
-/// extension: after all groups run, the optional `RAA_BENCH_JSON` report
-/// is written (see [`write_json_report`]).
+/// extensions: after all groups run, the optional `RAA_BENCH_JSON` report
+/// is written (see [`write_json_report`]) and the optional
+/// `RAA_BENCH_BASELINE` coverage check runs (see
+/// [`check_baseline_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
             $crate::write_json_report();
+            $crate::check_baseline_report();
         }
     };
 }
@@ -364,6 +431,23 @@ mod tests {
             ran = true;
         });
         assert!(!ran);
+    }
+
+    #[test]
+    fn baseline_diff_spots_vanished_entries() {
+        let baseline =
+            "{\n  \"streaming/d5\": 19510507,\n  \"decoders/matching_d5\": 17252582\n}\n";
+        let current = vec![("streaming/d5".to_string(), 2_881_000u128)];
+        assert_eq!(
+            missing_from_baseline(baseline, &current),
+            vec!["decoders/matching_d5".to_string()]
+        );
+        let full = vec![
+            ("streaming/d5".to_string(), 1u128),
+            ("decoders/matching_d5".to_string(), 2),
+            ("brand/new_entry".to_string(), 3),
+        ];
+        assert!(missing_from_baseline(baseline, &full).is_empty());
     }
 
     #[test]
