@@ -26,11 +26,13 @@
 //! ```
 
 pub mod ccz;
+pub mod circuits;
 pub mod cultivation;
 pub mod distill15;
 pub mod se_opt;
 
 pub use ccz::{CczFactory, FACTORY_PATCHES, T_PER_CCZ};
+pub use circuits::FactoryProtocol;
 pub use cultivation::CultivationModel;
 pub use distill15::Distill15Factory;
 pub use se_opt::{optimal_factory_se_rounds, sweep_factory_se_rounds, FactorySweepPoint};

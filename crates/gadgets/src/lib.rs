@@ -25,10 +25,12 @@
 
 pub mod adder;
 pub mod bell;
+pub mod circuits;
 pub mod fanout;
 pub mod lookup;
 pub mod windowed;
 
 pub use adder::CuccaroAdder;
+pub use circuits::GadgetKind;
 pub use lookup::LookupTable;
 pub use windowed::LookupAddition;

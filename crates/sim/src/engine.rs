@@ -15,7 +15,10 @@ use raa_decode::{
     WindowedDecoder,
 };
 use raa_stabsim::{Circuit, DemSampler, DetectorErrorModel, StreamingDemSampler};
-use raa_surface::{GhzFanoutExperiment, MemoryExperiment, TransversalCnotExperiment};
+use raa_surface::{
+    Code832MemoryExperiment, GhzFanoutExperiment, MemoryExperiment, ScheduledCnotExperiment,
+    TransversalCnotExperiment,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -68,6 +71,45 @@ pub fn build_circuit(spec: &ExperimentSpec) -> Circuit {
             let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, CIRCUIT_STREAM));
             deep_cnot_experiment(spec).build(&mut rng)
         }
+        Scenario::MagicFactory { .. } | Scenario::Gadget { .. } => {
+            scheduled_experiment(spec).build()
+        }
+        Scenario::Code832Memory { rounds } => {
+            assert_eq!(
+                spec.distance, 2,
+                "code832_memory is a fixed [[8,3,2]] block: the spec distance must be 2"
+            );
+            Code832MemoryExperiment {
+                rounds: rounds.resolve(spec.distance),
+                noise: spec.noise,
+            }
+            .build()
+        }
+    }
+}
+
+/// The [`ScheduledCnotExperiment`] behind a factory or gadget spec: the
+/// protocol's (or gadget's) cycled CNOT layer schedule, one layer per SE
+/// round, at the spec's distance, basis and noise.
+fn scheduled_experiment(spec: &ExperimentSpec) -> ScheduledCnotExperiment {
+    let (patches, schedule, rounds) = match spec.scenario {
+        Scenario::MagicFactory { protocol, rounds } => {
+            (protocol.patches(), protocol.schedule(), rounds)
+        }
+        Scenario::Gadget {
+            kind,
+            width,
+            rounds,
+        } => (kind.patches(width), kind.schedule(width), rounds),
+        _ => unreachable!("only called for factory/gadget specs"),
+    };
+    ScheduledCnotExperiment {
+        distance: spec.distance,
+        patches,
+        schedule,
+        rounds: rounds.resolve(spec.distance),
+        basis: spec.basis,
+        noise: spec.noise,
     }
 }
 
@@ -266,7 +308,8 @@ pub fn try_run_timed(spec: &ExperimentSpec) -> Result<(ExperimentRecord, RunTimi
         }
         DecoderChoice::Windowed { commit, buffer } => {
             let detectors_per_layer = spec.scenario.detectors_per_layer(spec.distance).expect(
-                "windowed decoding requires a uniformly layered scenario (memory or deep-CNOT)",
+                "windowed decoding requires a uniformly layered scenario \
+                 (memory, deep-CNOT, factory/gadget skeleton or code832)",
             );
             let layers = UniformLayers {
                 detectors_per_layer,
@@ -341,6 +384,11 @@ pub fn try_run_timed(spec: &ExperimentSpec) -> Result<(ExperimentRecord, RunTimi
                 Some(cnots_per_round),
             )
         }
+        Scenario::MagicFactory { .. } | Scenario::Gadget { .. } => {
+            let exp = scheduled_experiment(spec);
+            (exp.patches, exp.cnots(), exp.rounds, None)
+        }
+        Scenario::Code832Memory { rounds } => (1, 0, rounds.resolve(spec.distance), None),
     };
     let record = ExperimentRecord {
         name: spec.name.clone(),
@@ -448,6 +496,87 @@ mod tests {
         assert_eq!(r.patches, 5);
         assert_eq!(r.cnots, 4);
         assert!(r.logical_error_rate() < 0.1);
+    }
+
+    #[test]
+    fn factory_record_accounting_and_uniform_layers() {
+        let mut spec = ExperimentSpec::new(
+            "test/factory",
+            Scenario::MagicFactory {
+                protocol: crate::FactoryProtocol::Ccz,
+                rounds: Rounds::Fixed(3),
+            },
+            3,
+        );
+        spec.shots = ShotBudget::Fixed(500);
+        let circuit = build_circuit(&spec);
+        let dpl = spec.scenario.detectors_per_layer(3).unwrap();
+        assert_eq!(dpl, 64);
+        assert_eq!(circuit.num_detectors(), 3 * dpl);
+        let r = run(&spec);
+        assert_eq!(r.scenario, "factory_ccz");
+        assert_eq!(r.patches, 8);
+        assert_eq!(r.se_rounds, 3);
+        assert_eq!(r.cnots, 8, "two cycled cube layers of four CNOTs");
+        assert_eq!(r.cnots_per_round, None);
+        assert!(r.num_dem_errors > 0);
+    }
+
+    #[test]
+    fn gadget_record_accounting_and_uniform_layers() {
+        let mut spec = ExperimentSpec::new(
+            "test/gadget",
+            Scenario::Gadget {
+                kind: crate::GadgetKind::Adder,
+                width: 2,
+                rounds: Rounds::Fixed(4),
+            },
+            3,
+        );
+        spec.shots = ShotBudget::Fixed(500);
+        let circuit = build_circuit(&spec);
+        let dpl = spec.scenario.detectors_per_layer(3).unwrap();
+        assert_eq!(dpl, 5 * 8, "2w + 1 patches");
+        assert_eq!(circuit.num_detectors(), 4 * dpl);
+        let r = run(&spec);
+        assert_eq!(r.scenario, "gadget_adder");
+        assert_eq!(r.patches, 5);
+        assert_eq!(r.se_rounds, 4);
+        assert_eq!(r.cnots, 6, "three cycled MAJ/UMA layers of two CNOTs");
+        assert_eq!(r.cnots_per_round, None);
+    }
+
+    #[test]
+    fn code832_record_accounting_and_uniform_layers() {
+        let mut spec = ExperimentSpec::new(
+            "test/832",
+            Scenario::Code832Memory {
+                rounds: Rounds::Fixed(4),
+            },
+            2,
+        );
+        spec.shots = ShotBudget::Fixed(2_000);
+        let circuit = build_circuit(&spec);
+        assert_eq!(circuit.num_detectors(), 20, "four per round plus final");
+        assert_eq!(circuit.num_detectors() % 4, 0);
+        let r = run(&spec);
+        assert_eq!(r.scenario, "code832_memory");
+        assert_eq!(r.patches, 1);
+        assert_eq!(r.cnots, 0);
+        assert_eq!(r.se_rounds, 4);
+        assert!(r.num_dem_errors > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be 2")]
+    fn code832_rejects_wrong_distance() {
+        build_circuit(&ExperimentSpec::new(
+            "bad",
+            Scenario::Code832Memory {
+                rounds: Rounds::Fixed(2),
+            },
+            3,
+        ));
     }
 
     #[test]

@@ -47,6 +47,8 @@ use crate::record::ExperimentRecord;
 use crate::spec::{DecoderChoice, ExperimentSpec, Rounds, SamplerChoice, Scenario, ShotBudget};
 use raa_core::fit::FitResult;
 use raa_core::ErrorModelParams;
+use raa_factory::FactoryProtocol;
+use raa_gadgets::GadgetKind;
 use raa_surface::{Basis, NoiseModel};
 
 /// Deepest nesting the wire parser accepts (requests are ~3 levels deep;
@@ -531,6 +533,17 @@ pub fn spec_to_json(spec: &ExperimentSpec) -> Json {
             fields.push(("rounds", s(rounds_to_wire(rounds))));
             fields.push(("cnots_per_round", num(cnots_per_round)));
         }
+        // The protocol/kind is carried by the per-variant scenario label.
+        Scenario::MagicFactory { rounds, .. } => {
+            fields.push(("rounds", s(rounds_to_wire(rounds))));
+        }
+        Scenario::Gadget { width, rounds, .. } => {
+            fields.push(("width", unum(width)));
+            fields.push(("rounds", s(rounds_to_wire(rounds))));
+        }
+        Scenario::Code832Memory { rounds } => {
+            fields.push(("rounds", s(rounds_to_wire(rounds))));
+        }
     }
     fields.extend([
         ("distance", num(f64::from(spec.distance))),
@@ -567,6 +580,36 @@ pub fn spec_from_json(v: &Json) -> Result<ExperimentSpec, String> {
             patches: req_usize(v, "patches")?,
             rounds: rounds_from_wire(&req_str(v, "rounds")?)?,
             cnots_per_round: req_f64(v, "cnots_per_round")?,
+        },
+        "factory_distill15" => Scenario::MagicFactory {
+            protocol: FactoryProtocol::Distill15,
+            rounds: rounds_from_wire(&req_str(v, "rounds")?)?,
+        },
+        "factory_ccz" => Scenario::MagicFactory {
+            protocol: FactoryProtocol::Ccz,
+            rounds: rounds_from_wire(&req_str(v, "rounds")?)?,
+        },
+        "factory_cultivation" => Scenario::MagicFactory {
+            protocol: FactoryProtocol::Cultivation,
+            rounds: rounds_from_wire(&req_str(v, "rounds")?)?,
+        },
+        "gadget_adder" => Scenario::Gadget {
+            kind: GadgetKind::Adder,
+            width: req_usize(v, "width")?,
+            rounds: rounds_from_wire(&req_str(v, "rounds")?)?,
+        },
+        "gadget_lookup" => Scenario::Gadget {
+            kind: GadgetKind::Lookup,
+            width: req_usize(v, "width")?,
+            rounds: rounds_from_wire(&req_str(v, "rounds")?)?,
+        },
+        "gadget_fanout" => Scenario::Gadget {
+            kind: GadgetKind::Fanout,
+            width: req_usize(v, "width")?,
+            rounds: rounds_from_wire(&req_str(v, "rounds")?)?,
+        },
+        "code832_memory" => Scenario::Code832Memory {
+            rounds: rounds_from_wire(&req_str(v, "rounds")?)?,
         },
         other => return Err(format!("unknown scenario {other:?}")),
     };
@@ -1275,6 +1318,34 @@ mod tests {
                 cnots_per_round: 0.5,
             },
             3,
+        ));
+        for protocol in FactoryProtocol::ALL {
+            specs.push(ExperimentSpec::new(
+                format!("jobs/factory/{}", protocol.label()),
+                Scenario::MagicFactory {
+                    protocol,
+                    rounds: Rounds::Fixed(4),
+                },
+                3,
+            ));
+        }
+        for kind in GadgetKind::ALL {
+            specs.push(ExperimentSpec::new(
+                format!("jobs/gadget/{}", kind.label()),
+                Scenario::Gadget {
+                    kind,
+                    width: 3,
+                    rounds: Rounds::TimesDistance(2),
+                },
+                3,
+            ));
+        }
+        specs.push(ExperimentSpec::new(
+            "jobs/code832",
+            Scenario::Code832Memory {
+                rounds: Rounds::Fixed(4),
+            },
+            2,
         ));
         specs
     }

@@ -85,4 +85,6 @@ pub use spec::{
 
 // Convenience re-exports so spec literals need no extra imports.
 pub use raa_decode::McConfig;
+pub use raa_factory::FactoryProtocol;
+pub use raa_gadgets::GadgetKind;
 pub use raa_surface::{Basis, NoiseModel};

@@ -113,6 +113,20 @@ fn scenario_fingerprint(scenario: &Scenario) -> String {
             "deep_cnot(patches={patches},rounds={},x={cnots_per_round})",
             rounds_fingerprint(rounds)
         ),
+        // The protocol/kind is already part of the per-variant label.
+        Scenario::MagicFactory { rounds, .. } => format!(
+            "{}(rounds={})",
+            scenario.label(),
+            rounds_fingerprint(rounds)
+        ),
+        Scenario::Gadget { width, rounds, .. } => format!(
+            "{}(width={width},rounds={})",
+            scenario.label(),
+            rounds_fingerprint(rounds)
+        ),
+        Scenario::Code832Memory { rounds } => {
+            format!("code832_memory(rounds={})", rounds_fingerprint(rounds))
+        }
     }
 }
 
@@ -550,6 +564,26 @@ fn record_matches_spec(record: &ExperimentRecord, spec: &ExperimentSpec) -> bool
             record.patches == patches
                 && record.se_rounds <= rounds.resolve(spec.distance)
                 && record.cnots_per_round == Some(cnots_per_round)
+        }
+        Scenario::MagicFactory { protocol, rounds } => {
+            record.patches == protocol.patches()
+                && record.se_rounds == rounds.resolve(spec.distance)
+                && record.cnots_per_round.is_none()
+        }
+        Scenario::Gadget {
+            kind,
+            width,
+            rounds,
+        } => {
+            record.patches == kind.patches(width)
+                && record.se_rounds == rounds.resolve(spec.distance)
+                && record.cnots_per_round.is_none()
+        }
+        Scenario::Code832Memory { rounds } => {
+            record.patches == 1
+                && record.cnots == 0
+                && record.se_rounds == rounds.resolve(spec.distance)
+                && record.cnots_per_round.is_none()
         }
     };
     budget_ok

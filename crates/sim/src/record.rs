@@ -657,6 +657,7 @@ mod tests {
             noise in (0.0f64..0.1, 0.0f64..0.1, 0.0f64..0.1, 0.0f64..0.1),
             x_and_flags in (0.05f64..8.0, any::<bool>(), any::<bool>(), any::<bool>()),
             counts in (0usize..100_000, 0u32..1_000, 0usize..5_000, 0usize..10_000),
+            scenario_idx in 0usize..11,
         ) {
             let name: String = name_bytes
                 .iter()
@@ -671,9 +672,17 @@ mod tests {
                 .collect();
             let (x, has_x, streaming, basis_x) = x_and_flags;
             let (shots, failure_frac, detectors, dem_errors) = counts;
+            // Every label the engine emits, including the factory/gadget
+            // skeletons and the [[8,3,2]] block.
+            let scenario = [
+                "memory", "transversal_cnot", "ghz_fanout", "deep_cnot",
+                "factory_distill15", "factory_ccz", "factory_cultivation",
+                "gadget_adder", "gadget_lookup", "gadget_fanout",
+                "code832_memory",
+            ][scenario_idx];
             let record = ExperimentRecord {
                 name,
-                scenario: "transversal_cnot".into(),
+                scenario: scenario.into(),
                 distance: geometry.0,
                 basis: if basis_x { Basis::X } else { Basis::Z },
                 patches: geometry.1,

@@ -8,6 +8,8 @@
 //! decoders into such specs with per-point derived seeds.
 
 use raa_decode::McConfig;
+use raa_factory::FactoryProtocol;
+use raa_gadgets::GadgetKind;
 use raa_surface::{Basis, NoiseModel};
 
 /// How many syndrome-extraction rounds a memory experiment runs.
@@ -79,6 +81,72 @@ pub enum Scenario {
         /// Transversal CNOTs per SE round (the paper's `x`).
         cnots_per_round: f64,
     },
+    /// The Clifford skeleton of a magic-state factory (paper §III.6): the
+    /// protocol's deterministic transversal-CNOT network cycled one layer
+    /// per SE round over [`raa_factory::FactoryProtocol::patches`] patches.
+    /// Detectors come out in uniform layers of `patches × (d² − 1)` per
+    /// round, so windowed and streaming decoding apply.
+    ///
+    /// ```
+    /// use raa_sim::{FactoryProtocol, Rounds, Scenario};
+    ///
+    /// let s = Scenario::MagicFactory {
+    ///     protocol: FactoryProtocol::Distill15,
+    ///     rounds: Rounds::Fixed(4),
+    /// };
+    /// assert_eq!(s.label(), "factory_distill15");
+    /// assert_eq!(s.detectors_per_layer(3), Some(15 * 8));
+    /// ```
+    MagicFactory {
+        /// Which factory protocol's CNOT schedule to run.
+        protocol: FactoryProtocol,
+        /// Total SE rounds (≥ 1), possibly distance-dependent.
+        rounds: Rounds,
+    },
+    /// The Clifford skeleton of an arithmetic gadget (paper §III.5–III.8):
+    /// the gadget's transversal-CNOT frame at register width `width`,
+    /// cycled one layer per SE round over
+    /// [`raa_gadgets::GadgetKind::patches`] patches. Uniformly layered like
+    /// [`Scenario::MagicFactory`], so arbitrary depths stream.
+    ///
+    /// ```
+    /// use raa_sim::{GadgetKind, Rounds, Scenario};
+    ///
+    /// let s = Scenario::Gadget {
+    ///     kind: GadgetKind::Adder,
+    ///     width: 4,
+    ///     rounds: Rounds::Fixed(8),
+    /// };
+    /// assert_eq!(s.label(), "gadget_adder");
+    /// assert_eq!(s.detectors_per_layer(3), Some(9 * 8));
+    /// ```
+    Gadget {
+        /// Which gadget's CNOT schedule to run.
+        kind: GadgetKind,
+        /// Register width (bit positions for the adder, patches for
+        /// lookup/fan-out).
+        width: usize,
+        /// Total SE rounds (≥ 1), possibly distance-dependent.
+        rounds: Rounds,
+    },
+    /// Circuit-level memory on the [[8,3,2]] cube code behind the 8T-to-CCZ
+    /// factory ([`raa_surface::Code832MemoryExperiment`], pinned against the
+    /// PR 2 golden DEM). The block is a fixed code: the spec's `distance`
+    /// must be 2 (its code distance), and detectors come in uniform layers
+    /// of four (one per Z stabilizer) per round.
+    ///
+    /// ```
+    /// use raa_sim::{Rounds, Scenario};
+    ///
+    /// let s = Scenario::Code832Memory { rounds: Rounds::Fixed(4) };
+    /// assert_eq!(s.label(), "code832_memory");
+    /// assert_eq!(s.detectors_per_layer(2), Some(4));
+    /// ```
+    Code832Memory {
+        /// Stabilizer-measurement rounds (≥ 1), possibly
+        /// distance-dependent.
+        rounds: Rounds,
+    },
 }
 
 impl Scenario {
@@ -90,17 +158,37 @@ impl Scenario {
             Scenario::TransversalCnot { .. } => "transversal_cnot",
             Scenario::GhzFanout { .. } => "ghz_fanout",
             Scenario::DeepCnot { .. } => "deep_cnot",
+            Scenario::MagicFactory { protocol, .. } => match protocol {
+                FactoryProtocol::Distill15 => "factory_distill15",
+                FactoryProtocol::Ccz => "factory_ccz",
+                FactoryProtocol::Cultivation => "factory_cultivation",
+            },
+            Scenario::Gadget { kind, .. } => match kind {
+                GadgetKind::Adder => "gadget_adder",
+                GadgetKind::Lookup => "gadget_lookup",
+                GadgetKind::Fanout => "gadget_fanout",
+            },
+            Scenario::Code832Memory { .. } => "code832_memory",
         }
     }
 
     /// Detectors per SE-round time layer at distance `distance`, for the
     /// scenarios whose circuits emit detectors in uniform round-by-round
-    /// blocks (memory and deep-CNOT); `None` otherwise.
+    /// blocks (memory, deep-CNOT, factory/gadget skeletons and the
+    /// [[8,3,2]] block); `None` where the layering is non-uniform
+    /// (transversal-CNOT's debt schedule, GHZ fan-out's measurement-based
+    /// preparation), which is what rejects windowed/streaming decoding for
+    /// those scenarios.
     pub fn detectors_per_layer(&self, distance: u32) -> Option<usize> {
         let per_patch = (distance * distance - 1) as usize;
         match self {
             Scenario::Memory { .. } => Some(per_patch),
             Scenario::DeepCnot { patches, .. } => Some(patches * per_patch),
+            Scenario::MagicFactory { protocol, .. } => Some(protocol.patches() * per_patch),
+            Scenario::Gadget { kind, width, .. } => Some(kind.patches(*width) * per_patch),
+            // One detector per Z stabilizer per round, independent of the
+            // spec's (fixed) distance.
+            Scenario::Code832Memory { .. } => Some(4),
             Scenario::TransversalCnot { .. } | Scenario::GhzFanout { .. } => None,
         }
     }
@@ -214,7 +302,8 @@ pub struct ExperimentSpec {
     /// memory is bounded by the decoding window instead of the circuit
     /// depth, opening deep-round sweeps. Requires a
     /// [`DecoderChoice::Windowed`] decoder, the (default) DEM sampler and a
-    /// uniformly layered scenario (memory or deep-CNOT). The streaming
+    /// uniformly layered scenario (memory, deep-CNOT, factory/gadget
+    /// skeleton or [[8,3,2]] memory). The streaming
     /// path derives per-layer sample streams, so its records are not
     /// shot-comparable with the whole-batch path — but are themselves
     /// bit-identical across thread counts.
@@ -392,12 +481,19 @@ impl SweepGrid {
     ///
     /// # Panics
     ///
-    /// Panics if an axis is empty, or if a CNOTs-per-round axis is given for
-    /// a scenario other than [`Scenario::TransversalCnot`].
+    /// Panics if an axis is empty, if a CNOTs-per-round axis is given for a
+    /// non-CNOT scenario, or if a [`Scenario::Code832Memory`] grid sweeps a
+    /// distance other than 2 (the block is a fixed code).
     pub fn specs(&self) -> Vec<ExperimentSpec> {
         assert!(!self.distances.is_empty(), "need at least one distance");
         assert!(!self.p_phys.is_empty(), "need at least one error rate");
         assert!(!self.decoders.is_empty(), "need at least one decoder");
+        if matches!(self.scenario, Scenario::Code832Memory { .. }) {
+            assert!(
+                self.distances.iter().all(|&d| d == 2),
+                "code832_memory is a fixed [[8,3,2]] block: the distance axis must be [2]"
+            );
+        }
         if !self.cnots_per_round.is_empty() {
             assert!(
                 matches!(
@@ -584,5 +680,181 @@ mod tests {
         )
         .with_cnots_per_round(vec![1.0])
         .specs();
+    }
+
+    #[test]
+    fn new_scenario_labels_are_stable() {
+        for (scenario, label) in [
+            (
+                Scenario::MagicFactory {
+                    protocol: FactoryProtocol::Distill15,
+                    rounds: Rounds::Fixed(4),
+                },
+                "factory_distill15",
+            ),
+            (
+                Scenario::MagicFactory {
+                    protocol: FactoryProtocol::Ccz,
+                    rounds: Rounds::Fixed(4),
+                },
+                "factory_ccz",
+            ),
+            (
+                Scenario::MagicFactory {
+                    protocol: FactoryProtocol::Cultivation,
+                    rounds: Rounds::Fixed(4),
+                },
+                "factory_cultivation",
+            ),
+            (
+                Scenario::Gadget {
+                    kind: GadgetKind::Adder,
+                    width: 4,
+                    rounds: Rounds::Fixed(4),
+                },
+                "gadget_adder",
+            ),
+            (
+                Scenario::Gadget {
+                    kind: GadgetKind::Lookup,
+                    width: 4,
+                    rounds: Rounds::Fixed(4),
+                },
+                "gadget_lookup",
+            ),
+            (
+                Scenario::Gadget {
+                    kind: GadgetKind::Fanout,
+                    width: 3,
+                    rounds: Rounds::Fixed(4),
+                },
+                "gadget_fanout",
+            ),
+            (
+                Scenario::Code832Memory {
+                    rounds: Rounds::Fixed(4),
+                },
+                "code832_memory",
+            ),
+        ] {
+            assert_eq!(scenario.label(), label);
+        }
+    }
+
+    #[test]
+    fn new_scenarios_layer_uniformly() {
+        let rounds = Rounds::Fixed(4);
+        assert_eq!(
+            Scenario::MagicFactory {
+                protocol: FactoryProtocol::Distill15,
+                rounds
+            }
+            .detectors_per_layer(3),
+            Some(15 * 8)
+        );
+        assert_eq!(
+            Scenario::MagicFactory {
+                protocol: FactoryProtocol::Ccz,
+                rounds
+            }
+            .detectors_per_layer(5),
+            Some(8 * 24)
+        );
+        assert_eq!(
+            Scenario::Gadget {
+                kind: GadgetKind::Adder,
+                width: 4,
+                rounds
+            }
+            .detectors_per_layer(3),
+            Some(9 * 8),
+            "adder holds 2w + 1 patches"
+        );
+        assert_eq!(
+            Scenario::Gadget {
+                kind: GadgetKind::Fanout,
+                width: 3,
+                rounds
+            }
+            .detectors_per_layer(3),
+            Some(3 * 8)
+        );
+        assert_eq!(
+            Scenario::Code832Memory { rounds }.detectors_per_layer(2),
+            Some(4)
+        );
+        // The non-uniform scenarios still refuse a layer size.
+        assert_eq!(
+            Scenario::TransversalCnot {
+                patches: 2,
+                depth: 4,
+                cnots_per_round: 1.0
+            }
+            .detectors_per_layer(3),
+            None
+        );
+        assert_eq!(
+            Scenario::GhzFanout { targets: 3 }.detectors_per_layer(3),
+            None
+        );
+    }
+
+    #[test]
+    fn factory_grid_expands_and_seeds_like_any_other() {
+        let grid = SweepGrid::new(
+            "f",
+            Scenario::MagicFactory {
+                protocol: FactoryProtocol::Ccz,
+                rounds: Rounds::TimesDistance(2),
+            },
+        )
+        .with_distances(vec![3, 5])
+        .with_p_phys(vec![1e-3, 2e-3]);
+        let specs = grid.specs();
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[0].name, "f/d3/p0.001/union_find");
+        assert_ne!(specs[0].seed, specs[1].seed);
+        assert!(specs.iter().all(|s| s.scenario.label() == "factory_ccz"));
+    }
+
+    #[test]
+    #[should_panic(expected = "CNOT scenario")]
+    fn x_axis_rejected_for_factory() {
+        SweepGrid::new(
+            "g",
+            Scenario::MagicFactory {
+                protocol: FactoryProtocol::Distill15,
+                rounds: Rounds::Fixed(4),
+            },
+        )
+        .with_cnots_per_round(vec![1.0])
+        .specs();
+    }
+
+    #[test]
+    #[should_panic(expected = "distance axis must be [2]")]
+    fn code832_grid_rejects_other_distances() {
+        SweepGrid::new(
+            "g",
+            Scenario::Code832Memory {
+                rounds: Rounds::Fixed(4),
+            },
+        )
+        .with_distances(vec![3])
+        .specs();
+    }
+
+    #[test]
+    fn code832_grid_accepts_distance_two() {
+        let specs = SweepGrid::new(
+            "g",
+            Scenario::Code832Memory {
+                rounds: Rounds::Fixed(4),
+            },
+        )
+        .with_distances(vec![2])
+        .specs();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].distance, 2);
     }
 }

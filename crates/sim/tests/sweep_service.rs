@@ -359,3 +359,74 @@ fn calibrate_job_over_tcp_matches_local_calibration() {
     client.shutdown().unwrap();
     handle.join().unwrap();
 }
+
+/// The new algorithm scenarios flow through the daemon's job codec and
+/// land in the same content-addressed cache the local orchestrator uses:
+/// sweeping one `MagicFactory` point over the wire must produce a record
+/// byte-identical to a local `Orchestrator` run *and* to the raw cache
+/// line on disk (`SweepCache::entry_path` / `load`).
+#[test]
+fn factory_scenario_daemon_record_matches_local_cache_line() {
+    use raa_sim::{FactoryProtocol, NoiseModel, Orchestrator, SweepCache};
+
+    let spec = {
+        let mut s = ExperimentSpec::new(
+            "svc/factory",
+            Scenario::MagicFactory {
+                protocol: FactoryProtocol::Ccz,
+                rounds: Rounds::Fixed(3),
+            },
+            3,
+        );
+        s.noise = NoiseModel::uniform(4e-3);
+        s.shots = ShotBudget::Fixed(256);
+        s.seed = 0xFAC;
+        s
+    };
+
+    // Local reference through the orchestrator onto its own cache.
+    let local_tmp = TempDir::new("factory-local");
+    let local = Orchestrator::new()
+        .with_cache_dir(&local_tmp.0)
+        .unwrap()
+        .run_specs(std::slice::from_ref(&spec))
+        .unwrap();
+    assert_eq!(local.fresh_points, 1);
+    let local_json = local.records[0].to_json();
+
+    // Daemon pass over the wire onto a separate cache.
+    let tmp = TempDir::new("factory-daemon");
+    let (addr, _shutdown, handle, _service) = start_daemon(Some(&tmp.0));
+    let mut client = ServiceClient::connect(addr).unwrap();
+    match client.sweep(std::slice::from_ref(&spec)).unwrap() {
+        Response::Sweep {
+            fresh_points,
+            records,
+            poisoned,
+            ..
+        } => {
+            assert_eq!(fresh_points, 1);
+            assert!(poisoned.is_empty());
+            assert_eq!(
+                records[0].as_ref().unwrap().to_json(),
+                local_json,
+                "daemon factory record byte-identical to local orchestrator"
+            );
+        }
+        other => panic!("expected sweep response, got {other:?}"),
+    }
+
+    // Both cache lines — the daemon's and the local orchestrator's — hold
+    // the identical bytes for the identical spec key.
+    for dir in [&tmp.0, &local_tmp.0] {
+        let cache = SweepCache::open(dir).unwrap();
+        let entry = cache.entry_path(&spec);
+        assert!(entry.is_file(), "cache line exists at {}", entry.display());
+        let raw = fs::read_to_string(&entry).unwrap();
+        assert_eq!(raw.trim_end(), local_json, "raw cache line bytes");
+        assert_eq!(cache.load(&spec).unwrap().to_json(), local_json);
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -499,6 +499,25 @@ impl PatchCircuitBuilder {
         support.into_iter().map(|dq| base + dq).collect()
     }
 
+    /// Injects an X-error channel of probability `p` on data qubit `i` of
+    /// `patch`, at the current point of the circuit. Probability-1
+    /// injections are deterministic Pauli faults — the differential
+    /// tableau-vs-frame conformance tests use them to compare engines
+    /// bit-for-bit on scenario circuits; error channels never perturb the
+    /// stabilizer-flow bookkeeping.
+    pub fn inject_x_error(&mut self, patch: usize, i: usize, p: f64) {
+        assert!(self.initialized, "call initialize() first");
+        let q = self.data_qubit(patch, i);
+        self.circuit.x_error(&[q], p);
+    }
+
+    /// Z-basis twin of [`PatchCircuitBuilder::inject_x_error`].
+    pub fn inject_z_error(&mut self, patch: usize, i: usize, p: f64) {
+        assert!(self.initialized, "call initialize() first");
+        let q = self.data_qubit(patch, i);
+        self.circuit.z_error(&[q], p);
+    }
+
     /// The logical reference flow of `patch` in the given basis: the set of
     /// earlier measurement indices whose parity the logical operator
     /// currently equals, or `None` when undetermined.

@@ -115,6 +115,130 @@ impl TransversalCnotExperiment {
     }
 }
 
+/// One deterministic Pauli fault injected into a scheduled-CNOT circuit
+/// (a probability-1 error channel on a single data qubit), used by the
+/// differential tableau-vs-frame conformance tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauliInjection {
+    /// Inject after this many SE rounds have been emitted (1 = right after
+    /// the initial round). Injections past the last round are dropped.
+    pub after_round: usize,
+    /// Patch carrying the fault.
+    pub patch: usize,
+    /// Data-qubit index within the patch.
+    pub data: usize,
+    /// `true` injects X, `false` injects Z.
+    pub x: bool,
+}
+
+/// A deterministic scheduled-CNOT workload: `rounds` SE rounds over
+/// `patches` patches, with the cycled transversal-CNOT `schedule` applying
+/// one layer before every SE round after the first. This is the
+/// circuit-level skeleton behind the factory and gadget scenarios: the
+/// non-Clifford content of a protocol (T/Toffoli injections) is outside
+/// the reach of a stabilizer simulation, but its *Clifford frame* — the
+/// deterministic CNOT network that moves and checks the data — is exactly
+/// what sets the syndrome structure, and an all-|0⟩ initialization keeps
+/// every Z flow and logical observable determined through arbitrary CNOT
+/// layers.
+///
+/// Detectors come out in uniform time layers of `patches × (d² − 1)` per
+/// SE round (the first round emits the basis-aligned half, the final
+/// transversal readout the other half), so windowed and streaming decoding
+/// apply at any depth.
+///
+/// # Example
+///
+/// ```
+/// use raa_surface::experiments::ScheduledCnotExperiment;
+/// use raa_surface::{Basis, NoiseModel};
+///
+/// let exp = ScheduledCnotExperiment {
+///     distance: 3,
+///     patches: 2,
+///     schedule: vec![vec![(0, 1)], vec![(1, 0)]],
+///     rounds: 4,
+///     basis: Basis::Z,
+///     noise: NoiseModel::uniform(1e-3),
+/// };
+/// let circuit = exp.build();
+/// assert_eq!(exp.cnots(), 3);
+/// assert_eq!(circuit.num_detectors(), 4 * 2 * 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledCnotExperiment {
+    /// Code distance.
+    pub distance: u32,
+    /// Number of patches (≥ 2).
+    pub patches: usize,
+    /// CNOT layers, cycled: layer `(r − 1) mod len` runs before SE round
+    /// `r + 1` (0-based pairs of (control, target) patch indices).
+    pub schedule: Vec<Vec<(usize, usize)>>,
+    /// Total SE rounds (≥ 1).
+    pub rounds: usize,
+    /// Logical basis protected.
+    pub basis: Basis,
+    /// Noise strengths.
+    pub noise: NoiseModel,
+}
+
+impl ScheduledCnotExperiment {
+    /// Total transversal CNOTs the cycled schedule emits over `rounds`.
+    pub fn cnots(&self) -> usize {
+        (1..self.rounds)
+            .map(|r| self.schedule[(r - 1) % self.schedule.len()].len())
+            .sum()
+    }
+
+    /// Builds the noisy circuit with detectors and one observable per patch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patches < 2`, `rounds == 0`, the schedule is empty, or a
+    /// layer references an out-of-range or self-targeting pair.
+    pub fn build(&self) -> Circuit {
+        self.build_with_injections(&[])
+    }
+
+    /// Like [`ScheduledCnotExperiment::build`], additionally inserting the
+    /// given deterministic Pauli faults after their SE rounds.
+    pub fn build_with_injections(&self, injections: &[PauliInjection]) -> Circuit {
+        assert!(self.patches >= 2, "need at least two patches");
+        assert!(self.rounds >= 1, "need at least one SE round");
+        assert!(!self.schedule.is_empty(), "need at least one CNOT layer");
+        for layer in &self.schedule {
+            for &(c, t) in layer {
+                assert!(
+                    c < self.patches && t < self.patches && c != t,
+                    "bad CNOT pair ({c}, {t}) for {} patches",
+                    self.patches
+                );
+            }
+        }
+        let mut b = PatchCircuitBuilder::new(self.distance, self.patches, self.basis, self.noise);
+        b.initialize();
+        let inject_after = |b: &mut PatchCircuitBuilder, emitted: usize| {
+            for inj in injections.iter().filter(|i| i.after_round == emitted) {
+                if inj.x {
+                    b.inject_x_error(inj.patch, inj.data, 1.0);
+                } else {
+                    b.inject_z_error(inj.patch, inj.data, 1.0);
+                }
+            }
+        };
+        b.se_round();
+        inject_after(&mut b, 1);
+        for r in 1..self.rounds {
+            for &(c, t) in &self.schedule[(r - 1) % self.schedule.len()] {
+                b.transversal_cx(c, t);
+            }
+            b.se_round();
+            inject_after(&mut b, r + 1);
+        }
+        b.finish()
+    }
+}
+
 /// Measurement-based logical GHZ preparation and verification
 /// (the CNOT fan-out primitive of paper §III.8, Fig. 10b, at the logical
 /// level): `targets` patches are prepared in |+⟩, helper patches between

@@ -39,8 +39,9 @@ pub mod experiments;
 pub mod rotated;
 
 pub use builder::{Basis, NoiseModel, PatchCircuitBuilder};
+pub use code832::Code832MemoryExperiment;
 pub use experiments::{
     run_ghz, run_memory, run_transversal, DecoderKind, ExperimentResult, GhzFanoutExperiment,
-    MemoryExperiment, TransversalCnotExperiment,
+    MemoryExperiment, PauliInjection, ScheduledCnotExperiment, TransversalCnotExperiment,
 };
 pub use rotated::{Plaquette, RotatedSurfaceCode};

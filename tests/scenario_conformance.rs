@@ -1,0 +1,441 @@
+//! Differential conformance harness for the scenario catalog: every
+//! algorithm-level scenario (factory skeletons, gadget skeletons, the
+//! [[8,3,2]] block) runs the identical battery the core scenarios already
+//! pass, so a new variant cannot land half-wired:
+//!
+//! 1. **golden DEM fixtures** — one instance per new family pinned
+//!    byte-for-byte under `tests/fixtures/` (regenerate with `RAA_BLESS=1`
+//!    and review the diff), plus a lossless `dem_to_text`/`parse_dem`
+//!    round trip;
+//! 2. **deterministic detectors** — on the exact tableau simulator, every
+//!    detector and observable of every catalog circuit is a valid parity
+//!    check (the stabilizer-flow bookkeeping stayed determined through the
+//!    scheduled CNOT layers);
+//! 3. **sampler marginals** — compiled-DEM sampling agrees with gate-level
+//!    Pauli-frame simulation per detector (chi-square) and in aggregate;
+//! 4. **streamed-vs-batch + thread-count bit-identity** — the time-sliced
+//!    streaming pipeline returns bit-identical `DecodeStats` at 1/2/8
+//!    threads and against the whole-batch entry point on the same sampler;
+//! 5. **warm-cache byte-identity** — a second orchestrator pass over the
+//!    same specs replays every record byte-for-byte with zero freshly
+//!    sampled shots;
+//! 6. **pinned d = 3 anchors** — exact failure counts at p = 4e-3 (re-pin
+//!    on a vendored-RNG or sampler change, investigate otherwise).
+
+use raa::decode::mc::{logical_error_rate_sampled, logical_error_rate_streamed};
+use raa::decode::{DecodingGraph, McConfig, UniformLayers, WindowedDecoder};
+use raa::sim::{
+    build_circuit, run, DecoderChoice, ExperimentSpec, FactoryProtocol, GadgetKind, NoiseModel,
+    Orchestrator, Rounds, Scenario, ShotBudget,
+};
+use raa::stabsim::{dem_to_text, parse_dem, DemSampler, DetectorErrorModel, FrameSim, TableauSim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+
+/// The conformance catalog: one representative instance per new scenario
+/// family, at the smallest still-honest size.
+fn catalog() -> Vec<(&'static str, Scenario, u32)> {
+    vec![
+        (
+            "factory_distill15",
+            Scenario::MagicFactory {
+                protocol: FactoryProtocol::Distill15,
+                rounds: Rounds::Fixed(4),
+            },
+            3,
+        ),
+        (
+            "factory_ccz",
+            Scenario::MagicFactory {
+                protocol: FactoryProtocol::Ccz,
+                rounds: Rounds::Fixed(4),
+            },
+            3,
+        ),
+        (
+            "factory_cultivation",
+            Scenario::MagicFactory {
+                protocol: FactoryProtocol::Cultivation,
+                rounds: Rounds::Fixed(6),
+            },
+            3,
+        ),
+        (
+            "gadget_adder",
+            Scenario::Gadget {
+                kind: GadgetKind::Adder,
+                width: 4,
+                rounds: Rounds::Fixed(4),
+            },
+            3,
+        ),
+        (
+            "gadget_lookup",
+            Scenario::Gadget {
+                kind: GadgetKind::Lookup,
+                width: 4,
+                rounds: Rounds::Fixed(4),
+            },
+            3,
+        ),
+        (
+            "gadget_fanout",
+            Scenario::Gadget {
+                kind: GadgetKind::Fanout,
+                width: 3,
+                rounds: Rounds::Fixed(4),
+            },
+            3,
+        ),
+        (
+            "code832_memory",
+            Scenario::Code832Memory {
+                rounds: Rounds::Fixed(4),
+            },
+            2,
+        ),
+    ]
+}
+
+fn spec_for(label: &str, scenario: Scenario, distance: u32, p: f64, seed: u64) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(format!("conformance/{label}"), scenario, distance);
+    spec.noise = NoiseModel::uniform(p);
+    spec.seed = seed;
+    spec
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Compares `actual` against the checked-in fixture, or rewrites the
+/// fixture when `RAA_BLESS` is set (same contract as `golden_dem.rs`).
+fn assert_golden(actual: &str, fixture: &str) {
+    let path = fixtures_dir().join(fixture);
+    if std::env::var_os("RAA_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create fixtures dir");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e} (run with RAA_BLESS=1)", fixture));
+    assert!(
+        actual == expected,
+        "DEM text differs from golden fixture {fixture}; \
+         if the change is intentional, regenerate with RAA_BLESS=1 and review the diff"
+    );
+}
+
+/// One pinned instance per new family, byte-for-byte: the d = 3 distill15
+/// skeleton, the width-4 adder skeleton and the [[8,3,2]] memory. The
+/// fixture instances use two rounds (small files); the decode battery runs
+/// deeper.
+fn fixture_instances() -> Vec<(&'static str, ExperimentSpec)> {
+    vec![
+        (
+            "factory_distill15_d3.dem",
+            spec_for(
+                "fixture/distill15",
+                Scenario::MagicFactory {
+                    protocol: FactoryProtocol::Distill15,
+                    rounds: Rounds::Fixed(2),
+                },
+                3,
+                1e-3,
+                0,
+            ),
+        ),
+        (
+            "gadget_adder_w4_d3.dem",
+            spec_for(
+                "fixture/adder",
+                Scenario::Gadget {
+                    kind: GadgetKind::Adder,
+                    width: 4,
+                    rounds: Rounds::Fixed(2),
+                },
+                3,
+                1e-3,
+                0,
+            ),
+        ),
+        (
+            "code832_memory_r4.dem",
+            spec_for(
+                "fixture/code832",
+                Scenario::Code832Memory {
+                    rounds: Rounds::Fixed(4),
+                },
+                2,
+                1e-3,
+                0,
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn golden_dem_fixtures_per_new_family() {
+    for (fixture, spec) in fixture_instances() {
+        let dem = DetectorErrorModel::from_circuit(&build_circuit(&spec));
+        assert_golden(&dem_to_text(&dem), fixture);
+        // The fixture text is also a lossless round trip.
+        let text = dem_to_text(&dem);
+        let parsed = parse_dem(&text).expect("fixture text parses");
+        assert_eq!(parsed.num_detectors, dem.num_detectors);
+        assert_eq!(parsed.num_observables, dem.num_observables);
+        assert_eq!(parsed.errors, dem.errors);
+        assert_eq!(dem_to_text(&parsed), text, "{fixture}: round trip");
+    }
+}
+
+/// The new [[8,3,2]] builder ties back to the PR 2 fixture: with the prep
+/// and two-qubit channels off (zero-probability channels are omitted from
+/// the circuit), two rounds reproduce `code832.dem` byte for byte.
+#[test]
+fn code832_builder_reproduces_pr2_fixture() {
+    let exp = raa::surface::Code832MemoryExperiment {
+        rounds: 2,
+        noise: NoiseModel {
+            p2: 0.0,
+            p_prep: 0.0,
+            p_idle: 1e-3,
+            p_meas: 1e-3,
+        },
+    };
+    let dem = DetectorErrorModel::from_circuit(&exp.build());
+    let expected =
+        std::fs::read_to_string(fixtures_dir().join("code832.dem")).expect("PR 2 fixture present");
+    assert_eq!(
+        dem_to_text(&dem),
+        expected,
+        "Code832MemoryExperiment must reproduce the hand-rolled PR 2 circuit"
+    );
+}
+
+#[test]
+fn catalog_layers_uniformly_and_every_detector_is_deterministic() {
+    for (label, scenario, distance) in catalog() {
+        let spec = spec_for(label, scenario, distance, 1e-3, 7);
+        assert_eq!(spec.scenario.label(), label, "catalog label");
+        let circuit = build_circuit(&spec);
+        let dpl = scenario
+            .detectors_per_layer(distance)
+            .unwrap_or_else(|| panic!("{label}: catalog scenarios are uniformly layered"));
+        assert_eq!(circuit.num_detectors() % dpl, 0, "{label}: uniform layers");
+        assert!(circuit.num_detectors() / dpl >= 4, "{label}: honest depth");
+        let reference = TableauSim::reference_sample(&circuit);
+        for d in 0..circuit.num_detectors() {
+            let parity = circuit
+                .detector_measurements(d)
+                .iter()
+                .fold(false, |acc, &m| acc ^ reference[m]);
+            assert!(!parity, "{label}: detector {d} not deterministic");
+        }
+        for o in 0..circuit.num_observables() {
+            let parity = circuit
+                .observable(o)
+                .iter()
+                .fold(false, |acc, &m| acc ^ reference[m]);
+            assert!(!parity, "{label}: observable {o} not deterministic");
+        }
+    }
+}
+
+/// Compiled-DEM sampling matches gate-level frame simulation on the new
+/// circuit families: per-detector chi-square plus aggregate defect weight
+/// and observable flip rate (the `sampler_validation.rs` battery, applied
+/// to a factory skeleton and the [[8,3,2]] block).
+#[test]
+fn dem_sampler_marginals_match_frame_sampler() {
+    let instances = [
+        spec_for(
+            "marginals/ccz",
+            Scenario::MagicFactory {
+                protocol: FactoryProtocol::Ccz,
+                rounds: Rounds::Fixed(3),
+            },
+            3,
+            5e-3,
+            0,
+        ),
+        spec_for(
+            "marginals/code832",
+            Scenario::Code832Memory {
+                rounds: Rounds::Fixed(4),
+            },
+            2,
+            5e-3,
+            0,
+        ),
+    ];
+    for spec in instances {
+        let circuit = build_circuit(&spec);
+        let dem = DetectorErrorModel::from_circuit(&circuit);
+        let sampler = DemSampler::new(&dem);
+
+        let shots = 100_000usize;
+        let frame = FrameSim::sample(&circuit, shots, &mut StdRng::seed_from_u64(0xF4A3));
+        let dems = sampler.sample(shots, &mut StdRng::seed_from_u64(0xD3A1));
+
+        let nd = dem.num_detectors;
+        let mut chi2 = 0.0;
+        for d in 0..nd {
+            let nf = (0..shots).filter(|&s| frame.detector(s, d)).count() as f64;
+            let ndm = (0..shots).filter(|&s| dems.detector(s, d)).count() as f64;
+            let (pf, pd) = (nf / shots as f64, ndm / shots as f64);
+            let var = (pf * (1.0 - pf) + pd * (1.0 - pd)) / shots as f64;
+            chi2 += (pf - pd).powi(2) / (var + 1e-12);
+        }
+        let bound = nd as f64 + 5.0 * (2.0 * nd as f64).sqrt();
+        assert!(
+            chi2 < bound,
+            "{}: chi-square over {nd} detector marginals: {chi2:.1} ≥ {bound:.1}",
+            spec.name
+        );
+
+        let defect_mean = |s: &raa::stabsim::DetectorSamples| {
+            (0..shots)
+                .map(|shot| s.fired_detectors(shot).len())
+                .sum::<usize>() as f64
+                / shots as f64
+        };
+        let (mf, md) = (defect_mean(&frame), defect_mean(&dems));
+        assert!(
+            (mf - md).abs() / mf < 0.02,
+            "{}: mean defect weight: frame {mf:.4} vs dem {md:.4}",
+            spec.name
+        );
+
+        let flip_rate = |s: &raa::stabsim::DetectorSamples| {
+            (0..shots).filter(|&i| s.observable_mask(i) != 0).count() as f64 / shots as f64
+        };
+        let (ff, fd) = (flip_rate(&frame), flip_rate(&dems));
+        let se = (ff * (1.0 - ff) / shots as f64).sqrt();
+        assert!(
+            (ff - fd).abs() < 6.0 * se + 1e-4,
+            "{}: observable flip rate: frame {ff:.5} vs dem {fd:.5} (se {se:.6})",
+            spec.name
+        );
+    }
+}
+
+/// Every catalog scenario streams: the time-sliced pipeline is
+/// bit-identical across 1/2/8 threads and against the whole-batch entry
+/// point on the same sampler (streamed and batch records from *different*
+/// samplers are not shot-comparable — this holds the sampler fixed).
+#[test]
+fn streamed_vs_batch_and_thread_count_bit_identity() {
+    use raa::stabsim::StreamingDemSampler;
+    for (label, scenario, distance) in catalog() {
+        let spec = spec_for(label, scenario, distance, 4e-3, 0x57AB);
+        let circuit = build_circuit(&spec);
+        let dem = DetectorErrorModel::from_circuit(&circuit);
+        let dpl = scenario.detectors_per_layer(distance).unwrap();
+        let sampler = StreamingDemSampler::new(&dem, dpl);
+        let (graph, _) = DecodingGraph::from_dem_decomposed(&dem);
+        let decoder = WindowedDecoder::new(
+            graph,
+            UniformLayers {
+                detectors_per_layer: dpl,
+            },
+            1,
+            2,
+        );
+        let shots = 512;
+        let seed = 0x5EED;
+        let base = logical_error_rate_streamed(
+            &sampler,
+            &decoder,
+            shots,
+            seed,
+            &McConfig::default().with_threads(1),
+        )
+        .unwrap();
+        assert_eq!(base.shots, shots, "{label}");
+        for threads in [2usize, 8] {
+            let multi = logical_error_rate_streamed(
+                &sampler,
+                &decoder,
+                shots,
+                seed,
+                &McConfig::default().with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(base, multi, "{label}: threads = {threads}");
+        }
+        let batch =
+            logical_error_rate_sampled(&sampler, &decoder, shots, seed, &McConfig::default())
+                .unwrap();
+        assert_eq!(base, batch, "{label}: streaming vs batch entry point");
+    }
+}
+
+/// The orchestrator's headline contract extends to the new scenarios: a
+/// warm second pass replays every record byte-for-byte from the
+/// content-addressed cache with zero freshly sampled shots, at any
+/// point-worker count.
+#[test]
+fn warm_cache_byte_identity_through_orchestrator() {
+    let dir = std::env::temp_dir().join(format!("raa-conformance-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs: Vec<ExperimentSpec> = catalog()
+        .into_iter()
+        .map(|(label, scenario, distance)| {
+            let mut spec = spec_for(label, scenario, distance, 4e-3, 0xCACE);
+            spec.shots = ShotBudget::Fixed(512);
+            spec
+        })
+        .collect();
+    let orch = |workers: usize| {
+        Orchestrator::new()
+            .with_cache_dir(&dir)
+            .expect("open cache")
+            .with_point_threads(workers)
+    };
+    let cold = orch(1).run_specs(&specs).expect("cold pass");
+    assert_eq!(cold.fresh_points, specs.len());
+    assert_eq!(cold.fresh_shots, 512 * specs.len());
+    for workers in [1usize, 2, 8] {
+        let warm = orch(workers).run_specs(&specs).expect("warm pass");
+        assert_eq!(warm.fresh_points, 0, "workers = {workers}");
+        assert_eq!(warm.fresh_shots, 0, "workers = {workers}");
+        let cold_json: Vec<String> = cold.records.iter().map(|r| r.to_json()).collect();
+        let warm_json: Vec<String> = warm.records.iter().map(|r| r.to_json()).collect();
+        assert_eq!(cold_json, warm_json, "workers = {workers}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Exact failure-count anchors at d = 3 (d = 2 for the fixed [[8,3,2]]
+/// block), p = 4e-3, 2000 shots through the default union–find pipeline.
+/// Deterministic engine ⇒ exact counts; re-pin on a vendored-RNG or
+/// default-sampler swap, investigate any other drift.
+#[test]
+fn pinned_failure_count_anchors() {
+    let failures: Vec<(String, usize)> = catalog()
+        .into_iter()
+        .map(|(label, scenario, distance)| {
+            let mut spec = spec_for(label, scenario, distance, 4e-3, 0xA9C8);
+            spec.shots = ShotBudget::Fixed(2_000);
+            spec.decoder = DecoderChoice::UnionFind;
+            let record = run(&spec);
+            assert_eq!(record.shots, 2_000, "{label}");
+            (label.to_string(), record.failures)
+        })
+        .collect();
+    let pinned: Vec<(String, usize)> = [
+        ("factory_distill15", 952),
+        ("factory_ccz", 744),
+        ("factory_cultivation", 304),
+        ("gadget_adder", 526),
+        ("gadget_lookup", 349),
+        ("gadget_fanout", 243),
+        ("code832_memory", 193),
+    ]
+    .into_iter()
+    .map(|(l, f)| (l.to_string(), f))
+    .collect();
+    assert_eq!(failures, pinned, "pinned scenario anchors drifted");
+}

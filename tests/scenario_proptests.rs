@@ -1,0 +1,245 @@
+//! Property-based cross-validation of the factory/gadget scenario circuits:
+//! random protocol/kind, depth and deterministic Pauli injections, checked
+//! between the exact tableau simulator and the bit-packed Pauli-frame
+//! sampler.
+//!
+//! The scheduled-CNOT skeletons are built at zero noise plus p = 1 Pauli
+//! injections placed after random SE rounds, so the frame sampler's
+//! measurement flips are unique and the contract is exactly testable (the
+//! `crates/stabsim/tests/cross_validation.rs` argument, applied to the real
+//! scenario builders instead of random gate soup): replaying the circuit
+//! through the tableau while steering every random outcome to
+//! `reference ⊕ flip` must find every deterministic measurement equal to
+//! the frame sampler's prediction, and every detector/observable bit must
+//! agree between the engines.
+
+use proptest::prelude::*;
+use raa::stabsim::circuit::OpKind;
+use raa::stabsim::{Circuit, FrameSim, MeasureResult, TableauSim};
+use raa::surface::{Basis, NoiseModel, PauliInjection, ScheduledCnotExperiment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn zero_noise() -> NoiseModel {
+    NoiseModel {
+        p2: 0.0,
+        p_idle: 0.0,
+        p_prep: 0.0,
+        p_meas: 0.0,
+    }
+}
+
+/// Picks one of the six scheduled-CNOT skeleton families. Gadget widths are
+/// drawn from `width_raw` (Adder accepts width ≥ 1, Lookup/Fanout ≥ 2).
+fn skeleton(which: usize, width_raw: usize) -> (usize, Vec<Vec<(usize, usize)>>) {
+    use raa::factory::FactoryProtocol;
+    use raa::gadgets::GadgetKind;
+    match which % 6 {
+        0 => (
+            FactoryProtocol::Distill15.patches(),
+            FactoryProtocol::Distill15.schedule(),
+        ),
+        1 => (
+            FactoryProtocol::Ccz.patches(),
+            FactoryProtocol::Ccz.schedule(),
+        ),
+        2 => (
+            FactoryProtocol::Cultivation.patches(),
+            FactoryProtocol::Cultivation.schedule(),
+        ),
+        n => {
+            let kind = [GadgetKind::Adder, GadgetKind::Lookup, GadgetKind::Fanout][n - 3];
+            let width = 2 + width_raw % 3;
+            (kind.patches(width), kind.schedule(width))
+        }
+    }
+}
+
+/// Deterministic tableau replay: applies p = 1 Pauli channels as gates,
+/// skips p = 0 channels (the zero-noise builder still emits them) and
+/// steers every random measurement to `desired`.
+fn tableau_replay(circuit: &Circuit, desired: &[bool]) -> Vec<MeasureResult> {
+    let mut sim = TableauSim::new(circuit.num_qubits() as usize);
+    let mut out: Vec<MeasureResult> = Vec::new();
+    for op in circuit.ops() {
+        match op.kind {
+            OpKind::X => op.targets.iter().for_each(|&q| sim.x_gate(q as usize)),
+            OpKind::Y => op.targets.iter().for_each(|&q| sim.y_gate(q as usize)),
+            OpKind::Z => op.targets.iter().for_each(|&q| sim.z_gate(q as usize)),
+            OpKind::H => op.targets.iter().for_each(|&q| sim.h(q as usize)),
+            OpKind::S => op.targets.iter().for_each(|&q| sim.s(q as usize)),
+            OpKind::SDag => op.targets.iter().for_each(|&q| sim.s_dag(q as usize)),
+            OpKind::SqrtX => op.targets.iter().for_each(|&q| sim.sqrt_x(q as usize)),
+            OpKind::SqrtXDag => op.targets.iter().for_each(|&q| sim.sqrt_x_dag(q as usize)),
+            OpKind::CX => op.pairs().for_each(|(a, b)| sim.cx(a as usize, b as usize)),
+            OpKind::CZ => op.pairs().for_each(|(a, b)| sim.cz(a as usize, b as usize)),
+            OpKind::Swap => op
+                .pairs()
+                .for_each(|(a, b)| sim.swap(a as usize, b as usize)),
+            OpKind::R => op.targets.iter().for_each(|&q| sim.reset(q as usize)),
+            OpKind::RX => op.targets.iter().for_each(|&q| sim.reset_x(q as usize)),
+            OpKind::XError | OpKind::ZError | OpKind::YError => {
+                assert!(
+                    op.arg == 0.0 || op.arg == 1.0,
+                    "deterministic replay needs p in {{0, 1}}"
+                );
+                if op.arg == 1.0 {
+                    for &q in &op.targets {
+                        match op.kind {
+                            OpKind::XError => sim.x_gate(q as usize),
+                            OpKind::ZError => sim.z_gate(q as usize),
+                            _ => sim.y_gate(q as usize),
+                        }
+                    }
+                }
+            }
+            OpKind::Depolarize1 | OpKind::Depolarize2 => {
+                assert!(op.arg == 0.0, "deterministic replay needs p = 0 depolarize");
+            }
+            OpKind::Tick => {}
+            OpKind::M => {
+                for &q in &op.targets {
+                    let m = sim.measure_desired(q as usize, desired[out.len()]);
+                    out.push(m);
+                }
+            }
+            OpKind::MX => {
+                for &q in &op.targets {
+                    sim.h(q as usize);
+                    let m = sim.measure_desired(q as usize, desired[out.len()]);
+                    sim.h(q as usize);
+                    out.push(m);
+                }
+            }
+            OpKind::MR => {
+                for &q in &op.targets {
+                    let m = sim.measure_desired(q as usize, desired[out.len()]);
+                    if m.value {
+                        sim.x_gate(q as usize);
+                    }
+                    out.push(m);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_agreement(c: &Circuit, injected: bool) {
+    let reference = TableauSim::reference_sample(c);
+    // One shot suffices: every channel is p ∈ {0, 1}, so the flips are
+    // unique.
+    let flip_rows = FrameSim::sample_measurement_flips(c, 1, &mut StdRng::seed_from_u64(1));
+    let flips: Vec<bool> = (0..flip_rows.num_measurements())
+        .map(|m| flip_rows.flipped(0, m))
+        .collect();
+    assert_eq!(flips.len(), reference.len());
+    if !injected {
+        assert!(
+            flips.iter().all(|&f| !f),
+            "no injections must mean no flips"
+        );
+    }
+    let desired: Vec<bool> = reference.iter().zip(&flips).map(|(&r, &f)| r ^ f).collect();
+
+    let replayed = tableau_replay(c, &desired);
+    assert_eq!(replayed.len(), desired.len());
+    for (m, (result, &want)) in replayed.iter().zip(&desired).enumerate() {
+        assert_eq!(
+            result.value, want,
+            "measurement {m}: tableau {} vs frame prediction {want}",
+            result.value
+        );
+    }
+
+    // Detector/observable bits agree through the independent sampling path.
+    let samples = FrameSim::sample(c, 1, &mut StdRng::seed_from_u64(2));
+    for d in 0..c.num_detectors() {
+        let tableau_bit = c
+            .detector_measurements(d)
+            .iter()
+            .fold(false, |acc, &m| acc ^ replayed[m].value);
+        let reference_bit = c
+            .detector_measurements(d)
+            .iter()
+            .fold(false, |acc, &m| acc ^ reference[m]);
+        assert_eq!(
+            tableau_bit,
+            samples.detector(0, d) ^ reference_bit,
+            "detector {d}"
+        );
+    }
+    for o in 0..c.num_observables() {
+        let tableau_bit = c
+            .observable(o)
+            .iter()
+            .fold(false, |acc, &m| acc ^ replayed[m].value);
+        let reference_bit = c
+            .observable(o)
+            .iter()
+            .fold(false, |acc, &m| acc ^ reference[m]);
+        assert_eq!(
+            tableau_bit,
+            samples.observable(0, o) ^ reference_bit,
+            "observable {o}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random factory/gadget skeletons with random deterministic Pauli
+    /// injections: both engines agree on every bit either determines.
+    #[test]
+    fn injected_scenario_circuits_cross_validate(
+        which in 0usize..6,
+        width_raw in 0usize..3,
+        rounds in 1usize..=3,
+        raw_injections in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<bool>()),
+            0..6,
+        ),
+    ) {
+        let (patches, schedule) = skeleton(which, width_raw);
+        let distance = 3u32;
+        let exp = ScheduledCnotExperiment {
+            distance,
+            patches,
+            schedule,
+            rounds,
+            basis: Basis::Z,
+            noise: zero_noise(),
+        };
+        let injections: Vec<PauliInjection> = raw_injections
+            .iter()
+            .map(|&(r, p, d, x)| PauliInjection {
+                after_round: 1 + r as usize % rounds,
+                patch: p as usize % patches,
+                data: d as usize % (distance * distance) as usize,
+                x,
+            })
+            .collect();
+        let c = exp.build_with_injections(&injections);
+        check_agreement(&c, !injections.is_empty());
+    }
+}
+
+/// The injection-free degenerate case, pinned outside the proptest budget:
+/// with no faults the frame sampler reports no flips and the tableau
+/// reproduces the reference on every scenario family.
+#[test]
+fn clean_scenario_circuits_cross_validate() {
+    for which in 0..6 {
+        let (patches, schedule) = skeleton(which, 1);
+        let exp = ScheduledCnotExperiment {
+            distance: 3,
+            patches,
+            schedule,
+            rounds: 2,
+            basis: Basis::Z,
+            noise: zero_noise(),
+        };
+        check_agreement(&exp.build(), false);
+    }
+}
