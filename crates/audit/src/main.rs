@@ -1,0 +1,131 @@
+//! `raa-audit` CLI — scan the workspace and gate on contract regressions.
+//!
+//! ```sh
+//! raa-audit                      # human report, exit 0
+//! raa-audit --deny-new           # exit 1 on any finding not in the baseline
+//! raa-audit --update-baseline    # re-grandfather the current findings
+//! raa-audit --json               # machine-readable report on stdout
+//! raa-audit --json-out audit.json --deny-new   # CI: artifact + gate
+//! ```
+//!
+//! `--root <dir>` points at a workspace other than the current directory;
+//! `--baseline <path>` overrides the default `<root>/audit-baseline.json`.
+//! Exit codes: 0 clean (or violations all grandfathered), 1 new findings
+//! under `--deny-new`, 2 usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use raa_audit::baseline::Baseline;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    baseline_path: Option<PathBuf>,
+    json: bool,
+    json_out: Option<PathBuf>,
+    deny_new: bool,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline_path: None,
+        json: false,
+        json_out: None,
+        deny_new: false,
+        update_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                opts.baseline_path =
+                    Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?));
+            }
+            "--json" => opts.json = true,
+            "--json-out" => {
+                opts.json_out = Some(PathBuf::from(args.next().ok_or("--json-out needs a path")?));
+            }
+            "--deny-new" => opts.deny_new = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--help" | "-h" => {
+                return Err("usage: raa-audit [--root DIR] [--baseline PATH] [--json] \
+                            [--json-out PATH] [--deny-new] [--update-baseline]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other:?}; see --help")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("audit-baseline.json"));
+
+    if opts.update_baseline {
+        let findings = match raa_audit::current_findings(&opts.root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("raa-audit: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = Baseline::from_findings(&findings);
+        if let Err(e) = baseline.save(&baseline_path) {
+            eprintln!("raa-audit: writing {} failed: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "raa-audit: baseline updated — {} entry(ies) grandfathering {} finding(s)",
+            baseline.entries.len(),
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(Some(b)) => b,
+        Ok(None) => Baseline::default(),
+        Err(e) => {
+            eprintln!("raa-audit: reading {} failed: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = match raa_audit::scan_workspace(&opts.root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("raa-audit: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &opts.json_out {
+        if let Err(e) = std::fs::write(path, report.json()) {
+            eprintln!("raa-audit: writing {} failed: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.json {
+        print!("{}", report.json());
+    } else {
+        print!("{}", report.human());
+    }
+    if opts.deny_new && !report.clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,95 @@
+//! The suppression channel: `// raa-audit: allow(<rule>): <reason>`.
+//!
+//! A suppression comment silences findings of `<rule>` on its own line
+//! (trailing form) and on the line directly below it (preceding form).
+//! The reason is mandatory — an allow without a written justification is
+//! itself reported, under the reserved rule id `bad-suppression`, so a
+//! suppression can never be quieter than the finding it hides.
+
+use crate::lexer::TokKind;
+use crate::rules::{FileContext, Finding};
+
+/// A parsed, well-formed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule id being allowed.
+    pub rule: String,
+    /// The mandatory human justification.
+    pub reason: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+}
+
+const MARKER: &str = "raa-audit:";
+
+/// Extracts suppressions from a file's comment tokens. Malformed
+/// `raa-audit:` comments come back as `bad-suppression` findings.
+pub fn collect(ctx: &FileContext) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for tok in ctx.tokens {
+        if !matches!(tok.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        // The directive must lead the comment (`// raa-audit: …`); a
+        // mid-sentence mention (docs talking *about* the syntax) is text.
+        let body = tok.text.trim_start_matches(['/', '*', '!']).trim();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        match parse_directive(rest.trim()) {
+            Ok((rule, reason)) => sups.push(Suppression {
+                rule,
+                reason,
+                line: tok.line,
+            }),
+            Err(why) => bad.push(ctx.finding(
+                "bad-suppression",
+                tok,
+                format!("malformed raa-audit suppression: {why}"),
+            )),
+        }
+    }
+    (sups, bad)
+}
+
+/// Parses `allow(<rule>): <reason>`; both parts are mandatory.
+fn parse_directive(rest: &str) -> Result<(String, String), String> {
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(<rule>): <reason>`".to_string());
+    };
+    let Some(close) = args.find(')') else {
+        return Err("unclosed `allow(` — expected `allow(<rule>): <reason>`".to_string());
+    };
+    let rule = args[..close].trim();
+    if rule.is_empty() {
+        return Err("empty rule id in `allow()`".to_string());
+    }
+    let after = args[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        return Err("missing `: <reason>` after `allow(…)` — the reason is mandatory".to_string());
+    };
+    // Strip a block comment's trailing `*/` before judging emptiness.
+    let reason = reason.trim().trim_end_matches("*/").trim();
+    if reason.is_empty() {
+        return Err("empty reason — write down why this violation is sound".to_string());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+/// Splits `findings` into (kept, suppressed) under `sups`. A suppression
+/// covers findings of its rule on `line` and `line + 1`.
+pub fn apply(findings: Vec<Finding>, sups: &[Suppression]) -> (Vec<Finding>, Vec<Finding>) {
+    let (mut kept, mut suppressed) = (Vec::new(), Vec::new());
+    for f in findings {
+        let hit = sups
+            .iter()
+            .any(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
+        if hit {
+            suppressed.push(f);
+        } else {
+            kept.push(f);
+        }
+    }
+    (kept, suppressed)
+}

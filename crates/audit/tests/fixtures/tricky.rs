@@ -1,0 +1,30 @@
+// line comment with ".unwrap()" and 'q' and // SAFETY: inside text
+/* block /* nested block */ still one comment */
+/// doc comment with `unsafe` in backticks
+fn tricky<'a>(x: &'a f64) -> f64 {
+    let s = "string with // not a comment and \" escaped quote";
+    let r = r#"raw "string" with # and \ kept verbatim"#;
+    let rr = r##"outer r#"inner"# hash levels"##;
+    let b = b"byte string \x00";
+    let br = br#"raw byte string"#;
+    let c = 'x';
+    let esc = '\n';
+    let quote = '\'';
+    let lt: &'static str = "lifetime, not a char";
+    let f = 1.0e-3f64;
+    let g = 2f32;
+    let h = 0.5;
+    let i = 0xFF_u32;
+    let o = 0o77;
+    let bin = 0b1010_1010u8;
+    let range = 1..=3;
+    let dots = 0..10;
+    let shifted = 1u64 << 3 >> 1;
+    let cmp = f == 0.001 && g != 3.0 || h <= 1.0;
+    let arrow = |y: f64| -> f64 { y };
+    let r#type = 7;
+    let path = std::collections::HashMap::<u32, u32>::new();
+    let _ = (s, r, rr, b, br, c, esc, quote, lt, i, o, bin, range, dots);
+    let _ = (shifted, cmp, arrow(h), r#type, path);
+    *x + f + f64::from(g)
+}

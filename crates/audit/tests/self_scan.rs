@@ -1,0 +1,44 @@
+//! The audit's own acceptance gate, as a test: scanning the real workspace
+//! must come back clean modulo the checked-in baseline, and regenerating
+//! the baseline on the unchanged tree must be a byte-level no-op. This is
+//! the same check CI runs via `raa-audit --deny-new`, wired into
+//! `cargo test` so a contract regression fails locally too.
+
+use raa_audit::baseline::Baseline;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_is_clean_modulo_baseline() {
+    let root = workspace_root();
+    let baseline = Baseline::load(&root.join("audit-baseline.json"))
+        .expect("baseline parses")
+        .unwrap_or_default();
+    let report = raa_audit::scan_workspace(&root, &baseline).expect("scan succeeds");
+    assert!(report.files_scanned > 50, "workspace scan looks truncated");
+    assert!(
+        report.clean(),
+        "new audit findings (fix them or annotate with \
+         `// raa-audit: allow(<rule>): <reason>`):\n{}",
+        report.human()
+    );
+}
+
+#[test]
+fn baseline_regeneration_is_a_noop_on_a_clean_tree() {
+    let root = workspace_root();
+    let checked_in = std::fs::read_to_string(root.join("audit-baseline.json"))
+        .expect("audit-baseline.json is checked in");
+    let findings = raa_audit::current_findings(&root).expect("scan succeeds");
+    let regenerated = Baseline::from_findings(&findings).to_json();
+    assert_eq!(
+        regenerated, checked_in,
+        "audit-baseline.json is stale; rerun `raa-audit --update-baseline`"
+    );
+}

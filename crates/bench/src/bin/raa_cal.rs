@@ -26,14 +26,14 @@ use raa::core::ErrorModelParams;
 use raa::shor::TransversalArchitecture;
 use raa::sim::jobs::Response;
 use raa::sim::{calibrate, Calibration, CalibrationConfig, ServiceClient};
-use raa_bench::{env_parse_strict, fmt, header, maybe_dump_json, row};
+use raa_bench::{env_parse_strict, env_string, fmt, header, maybe_dump_json, row};
 
 fn main() {
     let mut cfg = CalibrationConfig::default();
-    match std::env::var("RAA_CACHE_DIR") {
-        Ok(dir) if dir.is_empty() => cfg.cache_dir = None,
-        Ok(dir) => cfg.cache_dir = Some(dir.into()),
-        Err(_) => cfg.cache_dir = Some("target/raa-cal-cache".into()),
+    match env_string("RAA_CACHE_DIR") {
+        Some(dir) if dir.is_empty() => cfg.cache_dir = None,
+        Some(dir) => cfg.cache_dir = Some(dir.into()),
+        None => cfg.cache_dir = Some("target/raa-cal-cache".into()),
     }
     if let Some(shots) = env_parse_strict::<usize>("RAA_SHOTS") {
         cfg.memory_shots = shots;
@@ -46,7 +46,7 @@ fn main() {
         cfg.point_threads = threads;
     }
 
-    let daemon = std::env::var("RAA_SWEEPD").ok().filter(|a| !a.is_empty());
+    let daemon = env_string("RAA_SWEEPD").filter(|a| !a.is_empty());
     header(&format!(
         "raa-cal: calibration sweeps at p = {}, d in {:?}, x in {:?} ({})",
         cfg.p_phys,

@@ -30,7 +30,7 @@
 
 use raa::sim::service::serve;
 use raa::sim::{ScrubOptions, ServiceConfig, SweepService};
-use raa_bench::env_parse_strict;
+use raa_bench::{env_parse_strict, env_string};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -51,6 +51,10 @@ fn install_signal_handlers() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `signal(2)` is only handed `on_signal`, an async-signal-safe
+    // `extern "C" fn` that does nothing but store a relaxed atomic flag; no
+    // Rust state is touched from signal context, and the returned previous
+    // handler is deliberately discarded.
     unsafe {
         signal(SIGINT, on_signal as *const () as usize);
         signal(SIGTERM, on_signal as *const () as usize);
@@ -61,11 +65,11 @@ fn install_signal_handlers() {
 fn install_signal_handlers() {}
 
 fn main() {
-    let addr = std::env::var("RAA_SWEEPD_ADDR").unwrap_or_else(|_| "127.0.0.1:7411".to_string());
-    let cache_dir = match std::env::var("RAA_CACHE_DIR") {
-        Ok(dir) if dir.is_empty() => None,
-        Ok(dir) => Some(dir.into()),
-        Err(_) => Some("target/raa-sweepd-cache".into()),
+    let addr = env_string("RAA_SWEEPD_ADDR").unwrap_or_else(|| "127.0.0.1:7411".to_string());
+    let cache_dir = match env_string("RAA_CACHE_DIR") {
+        Some(dir) if dir.is_empty() => None,
+        Some(dir) => Some(dir.into()),
+        None => Some("target/raa-sweepd-cache".into()),
     };
     let workers = env_parse_strict::<usize>("RAA_WORKERS").unwrap_or(0);
     let job_timeout =

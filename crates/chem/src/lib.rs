@@ -17,6 +17,8 @@
 //! produce a full estimate, transferring the paper's reduced space–time
 //! volume to chemistry workloads.
 
+#![forbid(unsafe_code)]
+
 use raa_core::{ArchContext, SpaceTime};
 use raa_factory::CczFactory;
 use raa_gadgets::{CuccaroAdder, LookupTable};

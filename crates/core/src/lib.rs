@@ -29,6 +29,8 @@
 //! assert!(logical::effective_threshold(&p, 1.0) > 0.85e-2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod budget;
 pub mod fit;
 pub mod gadget;

@@ -105,6 +105,8 @@
 //! # Ok::<(), raa_decode::graph::GraphError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bp;
 mod fxhash;
 pub mod graph;

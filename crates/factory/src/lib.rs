@@ -25,6 +25,8 @@
 //! assert!(rate > 30.0 && rate < 1000.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ccz;
 pub mod circuits;
 pub mod cultivation;

@@ -23,6 +23,8 @@
 //! assert!((lookup - 0.17).abs() < 0.03);   // §IV.2: 0.17 s
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adder;
 pub mod bell;
 pub mod circuits;

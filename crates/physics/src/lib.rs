@@ -24,6 +24,8 @@
 //! assert!(cycle.cycle_time() > 0.5e-3 && cycle.cycle_time() < 1.5e-3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aod;
 pub mod geometry;
 pub mod motion;

@@ -30,6 +30,8 @@
 //! assert!(estimate.expected_days() < 7.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use raa_chem as chem;
 pub use raa_core as core;
 pub use raa_decode as decode;

@@ -30,6 +30,8 @@
 //! assert!(ours.qubits <= ge.qubits() * 1.25);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod architecture;
 pub mod baselines;
 pub mod ekera_hastad;

@@ -279,6 +279,7 @@ pub fn try_run(spec: &ExperimentSpec) -> Result<ExperimentRecord, McError> {
 /// Returns [`McError::PoolBuild`] when the spec's [`raa_decode::McConfig`]
 /// requests a dedicated thread pool and building it fails.
 pub fn try_run_timed(spec: &ExperimentSpec) -> Result<(ExperimentRecord, RunTiming), McError> {
+    // raa-audit: allow(nondet-time): the wall-clock split is reported beside the record in RunTiming and never enters a record, fingerprint, or memo.
     let start = Instant::now();
     let circuit = build_circuit(spec);
     let dem = DetectorErrorModel::from_circuit(&circuit);
@@ -289,6 +290,7 @@ pub fn try_run_timed(spec: &ExperimentSpec) -> Result<(ExperimentRecord, RunTimi
         "streaming decoding requires the windowed decoder"
     );
     let timed = |decode: &dyn Fn() -> Result<DecodeStats, McError>| {
+        // raa-audit: allow(nondet-time): decode_seconds lands in RunTiming, not in the ExperimentRecord.
         let t0 = Instant::now();
         let stats = decode()?;
         Ok::<_, McError>((stats, t0.elapsed().as_secs_f64()))

@@ -204,7 +204,7 @@ impl JsonParser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.bytes.get(self.pos) == Some(&b) {
             self.pos += 1;
             Ok(())
@@ -266,7 +266,7 @@ impl JsonParser<'_> {
                     self.skip_ws();
                     let key = self.string()?;
                     self.skip_ws();
-                    self.expect(b':')?;
+                    self.expect_byte(b':')?;
                     let value = self.value(depth + 1)?;
                     fields.push((key, value));
                     self.skip_ws();
@@ -296,14 +296,15 @@ impl JsonParser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("malformed number at offset {start}"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("malformed number {text:?} at offset {start}"))
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bytes.get(self.pos) {
@@ -345,7 +346,9 @@ impl JsonParser<'_> {
                     // Consume one UTF-8 scalar (input is &str, so valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid utf-8 in string".to_string())?;
-                    let ch = rest.chars().next().expect("non-empty");
+                    let Some(ch) = rest.chars().next() else {
+                        return Err("invalid utf-8 in string".to_string());
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }

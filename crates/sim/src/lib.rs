@@ -58,6 +58,8 @@
 //! assert_eq!(run(&spec).to_json(), record.to_json());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod calibrate;
 pub mod engine;

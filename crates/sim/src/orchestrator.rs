@@ -440,8 +440,12 @@ impl SweepCache {
             }
             let qdir = self.quarantine_dir();
             fs::create_dir_all(&qdir)?;
-            let dest = qdir.join(p.file_name().expect("entry files have names"));
-            fs::rename(p, dest)?;
+            let Some(name) = p.file_name() else {
+                // Entry paths are built as `<dir>/<hex key>.json`; a
+                // nameless path cannot be one of ours — leave it alone.
+                return Ok(false);
+            };
+            fs::rename(p, qdir.join(name))?;
             Ok(true)
         })
     }

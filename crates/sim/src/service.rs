@@ -20,7 +20,13 @@
 //!   and answers new jobs with a clean `shed` response;
 //! - a **vanished client** (killed connection) costs nothing: the work
 //!   keeps running to completion and persists in the cache, so the retry
-//!   is a warm hit.
+//!   is a warm hit;
+//! - a **panic while a lock is held** cannot cascade: every Mutex/Condvar
+//!   acquisition here is poison-tolerant
+//!   (`unwrap_or_else(PoisonError::into_inner)`) — the per-point
+//!   `catch_unwind` containment keeps the protected state consistent at
+//!   panic boundaries, so poisoning carries no extra information and must
+//!   not take the daemon down with a second panic.
 //!
 //! [`serve`] runs the TCP front end (one JSON line in, one out, per-
 //! connection reader threads); [`ServiceClient`] is the matching client
@@ -39,7 +45,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -128,7 +134,7 @@ struct JobState {
 
 impl JobState {
     fn complete(&self, index: usize, result: PointResult) -> bool {
-        let mut progress = self.progress.lock().expect("job mutex");
+        let mut progress = self.progress.lock().unwrap_or_else(PoisonError::into_inner);
         debug_assert!(progress.results[index].is_none(), "point completed twice");
         progress.results[index] = Some(result);
         progress.remaining -= 1;
@@ -151,7 +157,11 @@ impl JobHandle {
     /// workers — and `None` is returned.
     pub fn wait(&self, timeout: Duration) -> Option<Vec<PointResult>> {
         let deadline = Instant::now() + timeout;
-        let mut progress = self.state.progress.lock().expect("job mutex");
+        let mut progress = self
+            .state
+            .progress
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         while progress.remaining > 0 {
             let now = Instant::now();
             if now >= deadline {
@@ -162,13 +172,14 @@ impl JobHandle {
                 .state
                 .done
                 .wait_timeout(progress, deadline - now)
-                .expect("job mutex")
+                .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
         Some(
             progress
                 .results
                 .iter()
+                // raa-audit: allow(panic-path): remaining == 0 means every slot was filled by complete(); a violated invariant is a bug worth failing this waiter loudly, and it can only panic the requesting connection thread, never a pool worker.
                 .map(|slot| slot.clone().expect("remaining == 0"))
                 .collect(),
         )
@@ -221,7 +232,7 @@ impl Inner {
         let quarantined = self
             .quarantine
             .lock()
-            .expect("quarantine mutex")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&key)
             .cloned();
         let result = if let Some((name, message)) = quarantined {
@@ -262,7 +273,7 @@ impl Inner {
                 Ok(PointOutcome::Poisoned(p)) => {
                     self.quarantine
                         .lock()
-                        .expect("quarantine mutex")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .insert(p.key.clone(), (p.name.clone(), p.message.clone()));
                     PointResult::Poisoned {
                         name: p.name,
@@ -337,7 +348,7 @@ impl SweepService {
                 .name(format!("raa-sweepd-worker-{i}"))
                 .spawn(move || loop {
                     let task = {
-                        let mut queue = worker.queue.lock().expect("queue mutex");
+                        let mut queue = worker.queue.lock().unwrap_or_else(PoisonError::into_inner);
                         loop {
                             if let Some(task) = queue.pop_front() {
                                 break Some(task);
@@ -345,7 +356,10 @@ impl SweepService {
                             if worker.stop.load(Ordering::Relaxed) {
                                 break None;
                             }
-                            queue = worker.queue_cv.wait(queue).expect("queue mutex");
+                            queue = worker
+                                .queue_cv
+                                .wait(queue)
+                                .unwrap_or_else(PoisonError::into_inner);
                         }
                     };
                     match task {
@@ -355,7 +369,7 @@ impl SweepService {
                 })?;
             handles.push(handle);
         }
-        *inner.handles.lock().expect("handles mutex") = handles;
+        *inner.handles.lock().unwrap_or_else(PoisonError::into_inner) = handles;
         Ok(SweepService { inner })
     }
 
@@ -369,7 +383,11 @@ impl SweepService {
     pub fn drain(&self) {
         self.inner.draining.store(true, Ordering::Relaxed);
         let shed: Vec<Task> = {
-            let mut queue = self.inner.queue.lock().expect("queue mutex");
+            let mut queue = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             queue.drain(..).collect()
         };
         for task in shed {
@@ -392,7 +410,7 @@ impl SweepService {
             .inner
             .handles
             .lock()
-            .expect("handles mutex")
+            .unwrap_or_else(PoisonError::into_inner)
             .drain(..)
             .collect();
         for handle in handles {
@@ -415,7 +433,11 @@ impl SweepService {
         {
             // Checked under the queue lock so a concurrent drain either
             // sees these tasks (and sheds them) or we see the flag.
-            let mut queue = self.inner.queue.lock().expect("queue mutex");
+            let mut queue = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if self.is_draining() {
                 return None;
             }
@@ -465,7 +487,7 @@ impl SweepService {
                 .inner
                 .quarantine
                 .lock()
-                .expect("quarantine mutex")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(key, (name, message))| QuarantinedPoint {
                     key: key.clone(),
@@ -515,27 +537,12 @@ impl SweepService {
                 ),
             };
         };
-        let mut response = Response::Sweep {
-            id,
-            fresh_points: 0,
-            cached_points: 0,
-            fresh_shots: 0,
-            corrupt_replaced: 0,
-            poisoned: Vec::new(),
-            records: Vec::with_capacity(results.len()),
-        };
-        let Response::Sweep {
-            fresh_points,
-            cached_points,
-            fresh_shots,
-            corrupt_replaced,
-            poisoned,
-            records,
-            ..
-        } = &mut response
-        else {
-            unreachable!()
-        };
+        let mut fresh_points = 0usize;
+        let mut cached_points = 0usize;
+        let mut fresh_shots = 0usize;
+        let mut corrupt_replaced = 0usize;
+        let mut poisoned = Vec::new();
+        let mut records = Vec::with_capacity(results.len());
         let mut failure = None;
         for (index, result) in results.into_iter().enumerate() {
             match result {
@@ -545,11 +552,11 @@ impl SweepService {
                     replaced_corrupt,
                 } => {
                     if fresh {
-                        *fresh_points += 1;
-                        *fresh_shots += record.shots;
-                        *corrupt_replaced += usize::from(replaced_corrupt);
+                        fresh_points += 1;
+                        fresh_shots += record.shots;
+                        corrupt_replaced += usize::from(replaced_corrupt);
                     } else {
-                        *cached_points += 1;
+                        cached_points += 1;
                     }
                     records.push(Some(record));
                 }
@@ -572,11 +579,16 @@ impl SweepService {
         match failure {
             // A typed failure (I/O past the retry budget) fails the job as
             // a whole; poisoned/shed points do not.
-            Some(message) => Response::Error {
-                id: response.id().to_string(),
-                message,
+            Some(message) => Response::Error { id, message },
+            None => Response::Sweep {
+                id,
+                fresh_points,
+                cached_points,
+                fresh_shots,
+                corrupt_replaced,
+                poisoned,
+                records,
             },
-            None => response,
         }
     }
 

@@ -13,7 +13,7 @@
 //! set size, independent of how far errors propagate.
 
 use crate::circuit::{Circuit, OpKind};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// One elementary error mechanism.
@@ -81,7 +81,9 @@ impl DetectorErrorModel {
         for e in self.errors.iter().filter(|e| e.is_graphlike()) {
             known.entry(e.detectors.clone()).or_insert(e.observables);
         }
-        let mut merged: HashMap<(Vec<u32>, u64), f64> = HashMap::new();
+        // Keyed `(detectors, observables)` in a BTreeMap so the emitted
+        // mechanism order below is the key order — never the hasher's.
+        let mut merged: BTreeMap<(Vec<u32>, u64), f64> = BTreeMap::new();
         let mut arbitrary = 0usize;
         for e in &self.errors {
             if e.is_graphlike() {
@@ -101,7 +103,9 @@ impl DetectorErrorModel {
                 merge_into(&mut merged, dets, obs, e.probability);
             }
         }
-        let mut errors: Vec<DemError> = merged
+        // BTreeMap iteration is already (detectors, observables)-ordered —
+        // exactly the canonical mechanism order.
+        let errors: Vec<DemError> = merged
             .into_iter()
             .map(|((detectors, observables), probability)| DemError {
                 probability,
@@ -109,11 +113,6 @@ impl DetectorErrorModel {
                 observables,
             })
             .collect();
-        errors.sort_by(|a, b| {
-            a.detectors
-                .cmp(&b.detectors)
-                .then(a.observables.cmp(&b.observables))
-        });
         (
             DetectorErrorModel {
                 num_detectors: self.num_detectors,
@@ -165,7 +164,7 @@ impl fmt::Display for DetectorErrorModel {
     }
 }
 
-fn merge_into(map: &mut HashMap<(Vec<u32>, u64), f64>, dets: Vec<u32>, obs: u64, p: f64) {
+fn merge_into(map: &mut BTreeMap<(Vec<u32>, u64), f64>, dets: Vec<u32>, obs: u64, p: f64) {
     if dets.is_empty() && obs == 0 {
         return; // invisible and harmless
     }
@@ -290,7 +289,8 @@ impl<'c> Extractor<'c> {
         let mut dx: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut dz: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut meas_idx = self.circuit.num_measurements();
-        let mut merged: HashMap<(Vec<u32>, u64), f64> = HashMap::new();
+        // Key-ordered for the same reason as in `decompose_graphlike`.
+        let mut merged: BTreeMap<(Vec<u32>, u64), f64> = BTreeMap::new();
 
         for op in self.circuit.ops().iter().rev() {
             use OpKind::*;
@@ -417,7 +417,7 @@ impl<'c> Extractor<'c> {
         }
         debug_assert_eq!(meas_idx, 0, "measurement bookkeeping out of sync");
 
-        let mut errors: Vec<DemError> = merged
+        let errors: Vec<DemError> = merged
             .into_iter()
             .map(|((detectors, observables), probability)| DemError {
                 probability,
@@ -425,11 +425,6 @@ impl<'c> Extractor<'c> {
                 observables,
             })
             .collect();
-        errors.sort_by(|a, b| {
-            a.detectors
-                .cmp(&b.detectors)
-                .then(a.observables.cmp(&b.observables))
-        });
         DetectorErrorModel {
             num_detectors: self.num_detectors as usize,
             num_observables: self.circuit.num_observables(),
@@ -449,7 +444,7 @@ impl<'c> Extractor<'c> {
         sens
     }
 
-    fn emit(&self, merged: &mut HashMap<(Vec<u32>, u64), f64>, sens: Vec<u32>, p: f64) {
+    fn emit(&self, merged: &mut BTreeMap<(Vec<u32>, u64), f64>, sens: Vec<u32>, p: f64) {
         // Split combined ids back into detectors and observables.
         let mut dets = Vec::with_capacity(sens.len());
         let mut obs = 0u64;

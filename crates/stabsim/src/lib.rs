@@ -45,6 +45,8 @@
 //! assert_eq!(samples.num_detectors(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod circuit;
 pub mod dem;
 pub mod dem_sampler;

@@ -33,6 +33,8 @@
 //! assert!(rate(5) <= rate(3));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod code832;
 pub mod experiments;
